@@ -1,0 +1,67 @@
+"""Ablation — sample budgeting: IMCAF (SSA-style) vs one-shot (IMM-style).
+
+Both frameworks wrap the same MAXR solver; they differ in how many RIC
+samples they decide to pay for. Expectation: comparable solution
+quality; the one-shot variant's data-driven lower bound usually buys a
+smaller (or at worst equal, under the same practical cap) sample count
+than IMCAF's doubling reaches.
+"""
+
+from conftest import emit
+
+from repro.core.framework import solve_imc
+from repro.core.static_bound import solve_imc_static
+from repro.core.ubg import UBG
+from repro.diffusion.simulator import BenefitEvaluator
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.reporting import ascii_table
+from repro.experiments.runner import build_instance
+
+K = 8
+CAP = 8_000
+
+
+def test_ablation_budgeting_strategies(benchmark):
+    config = ExperimentConfig(
+        dataset="facebook", scale=0.12, eval_trials=200, seed=7,
+        threshold="bounded",
+    )
+    graph, communities = build_instance(config)
+    evaluator = BenefitEvaluator(graph, communities, num_trials=300, seed=8)
+
+    def run():
+        dynamic = solve_imc(
+            graph, communities, k=K, solver=UBG(), seed=9, max_samples=CAP
+        )
+        static = solve_imc_static(
+            graph, communities, k=K, solver=UBG(), seed=9, max_samples=CAP
+        )
+        return dynamic, static
+
+    dynamic, static = benchmark.pedantic(run, rounds=1)
+    benefit_dynamic = evaluator(dynamic.selection.seeds)
+    benefit_static = evaluator(static.selection.seeds)
+    emit(
+        "Ablation: sample budgeting (UBG, k=8, h=2, facebook-like)",
+        ascii_table(
+            ["framework", "samples", "stop reason / LB", "c(S) (MC)"],
+            [
+                (
+                    "IMCAF (Alg. 5, doubling)",
+                    dynamic.num_samples,
+                    dynamic.stopped_by,
+                    benefit_dynamic,
+                ),
+                (
+                    "one-shot (IMM-style)",
+                    static.num_samples,
+                    f"LB={static.lower_bound:.1f}",
+                    benefit_static,
+                ),
+            ],
+        ),
+    )
+    # Quality parity within Monte-Carlo noise.
+    assert benefit_static >= 0.85 * benefit_dynamic
+    assert benefit_dynamic >= 0.85 * benefit_static
+    assert static.num_samples <= CAP and dynamic.num_samples <= CAP

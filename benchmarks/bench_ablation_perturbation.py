@@ -1,0 +1,70 @@
+"""Ablation — seed-set robustness under edge-weight perturbation.
+
+Influence probabilities are noisy estimates in deployment; this bench
+perturbs every weight by up to ±δ and re-evaluates the UBG and KS seed
+sets. Expectation: the diffusion-aware UBG solution degrades gracefully
+(its benefit comes from many redundant paths); the topology-blind KS
+baseline, which only ever counts its own seeded members, barely moves —
+but from a much lower baseline.
+"""
+
+from conftest import emit
+
+from repro.baselines.knapsack import ks_seeds
+from repro.core.ubg import UBG
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.perturbation import perturbation_study
+from repro.experiments.reporting import ascii_table
+from repro.experiments.runner import build_instance, make_pool
+
+DELTAS = (0.1, 0.3)
+
+
+def test_ablation_perturbation_robustness(benchmark):
+    config = ExperimentConfig(
+        dataset="facebook", scale=0.12, pool_size=500, eval_trials=150, seed=7
+    )
+    graph, communities = build_instance(config)
+    pool = make_pool(graph, communities, config)
+    ubg_seeds = UBG().solve(pool, 10).seeds
+    ks = ks_seeds(communities, 10)
+
+    def run():
+        rows = []
+        for label, seeds in (("UBG", ubg_seeds), ("KS", ks)):
+            for delta in DELTAS:
+                result = perturbation_study(
+                    graph,
+                    communities,
+                    seeds,
+                    delta=delta,
+                    num_graphs=6,
+                    eval_trials=150,
+                    seed=11,
+                )
+                rows.append(
+                    (
+                        label,
+                        delta,
+                        result.baseline_benefit,
+                        result.mean_benefit,
+                        result.worst_benefit,
+                        result.relative_degradation,
+                    )
+                )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1)
+    emit(
+        "Ablation: robustness to ±delta weight perturbation (k=10)",
+        ascii_table(
+            ["algorithm", "delta", "baseline", "mean", "worst", "degradation"],
+            rows,
+        ),
+    )
+    ubg_rows = [r for r in rows if r[0] == "UBG"]
+    ks_rows = [r for r in rows if r[0] == "KS"]
+    # UBG stays clearly above KS even under the strongest perturbation.
+    assert min(r[4] for r in ubg_rows) >= max(r[3] for r in ks_rows) * 0.7
+    # Multiplicative jitter keeps UBG within a modest degradation band.
+    assert all(abs(r[5]) < 0.4 for r in ubg_rows)

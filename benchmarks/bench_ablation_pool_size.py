@@ -1,0 +1,56 @@
+"""Ablation — RIC pool size vs estimation error.
+
+``ĉ_R(S) -> c(S)`` as ``|R|`` grows (Lemma 1 + concentration). This
+ablation sweeps the pool size and reports the relative error of the
+pool estimate against a high-trial Monte-Carlo reference, verifying the
+error shrinks — the empirical face of the Ψ/Λ sample bounds.
+"""
+
+from conftest import emit
+
+from repro.diffusion.simulator import community_benefit_monte_carlo
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.reporting import format_series
+from repro.experiments.runner import build_instance
+from repro.sampling.pool import RICSamplePool
+from repro.sampling.ric import RICSampler
+
+POOL_SIZES = (50, 200, 800, 3200)
+
+
+def test_ablation_pool_size_error(benchmark):
+    config = ExperimentConfig(dataset="facebook", scale=0.15, seed=13)
+    graph, communities = build_instance(config)
+    seeds = list(communities[0].members[:2]) + list(communities[1].members[:2])
+    reference = community_benefit_monte_carlo(
+        graph, communities, seeds, num_trials=20_000, seed=19
+    )
+
+    def sweep():
+        errors = []
+        for trial in range(3):
+            sampler = RICSampler(graph, communities, seed=100 + trial)
+            pool = RICSamplePool(sampler)
+            trial_errors = []
+            for size in POOL_SIZES:
+                pool.grow_to(size)
+                estimate = pool.estimate_benefit(seeds)
+                trial_errors.append(abs(estimate - reference) / reference)
+            errors.append(trial_errors)
+        # Mean error per pool size across trials.
+        return [
+            sum(e[i] for e in errors) / len(errors)
+            for i in range(len(POOL_SIZES))
+        ]
+
+    mean_errors = benchmark.pedantic(sweep, rounds=1)
+    emit(
+        "Ablation: RIC pool size vs relative estimation error "
+        f"(reference c(S)={reference:.2f})",
+        format_series(
+            "|R|", list(POOL_SIZES), {"mean relative error": mean_errors}
+        ),
+    )
+    # Error at the largest pool is small and far below the smallest pool.
+    assert mean_errors[-1] < 0.10
+    assert mean_errors[-1] <= mean_errors[0] + 0.02

@@ -1,0 +1,67 @@
+"""IMCAF convergence diagnostics via the progress hook.
+
+Traces pool size, coverage count and objective across the stop-and-
+stare stages of Algorithm 5 — how the doubling loop approaches its
+stopping condition. Expectation: the pool doubles per stage, coverage
+grows with it, and the objective estimate stabilises well before the
+final stage (the statistical machinery's whole point).
+"""
+
+from conftest import emit
+
+from repro.core.framework import solve_imc
+from repro.core.ubg import UBG
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.reporting import ascii_table
+from repro.experiments.runner import build_instance
+
+K = 8
+CAP = 16_000
+
+
+def test_imcaf_convergence_trace(benchmark):
+    config = ExperimentConfig(
+        dataset="facebook", scale=0.12, seed=7, threshold="bounded"
+    )
+    graph, communities = build_instance(config)
+
+    def run():
+        events = []
+        result = solve_imc(
+            graph,
+            communities,
+            k=K,
+            solver=UBG(),
+            seed=9,
+            max_samples=CAP,
+            progress=events.append,
+        )
+        return events, result
+
+    events, result = benchmark.pedantic(run, rounds=1)
+    emit(
+        f"IMCAF convergence (UBG, k={K}, stop={result.stopped_by})",
+        ascii_table(
+            ["stage", "|R|", "coverage", "Lambda", "c_R(S)"],
+            [
+                (
+                    e["stage"],
+                    e["num_samples"],
+                    e["coverage"],
+                    e["lambda"],
+                    e["objective"],
+                )
+                for e in events
+            ],
+        ),
+    )
+    assert events
+    sizes = [e["num_samples"] for e in events]
+    assert sizes == sorted(sizes)
+    # Pool at least doubles between consecutive stages (up to the cap).
+    for previous, current in zip(sizes, sizes[1:]):
+        assert current >= min(2 * previous, CAP) * 0.99
+    # Objective stabilises: last two stages within 15% of each other.
+    if len(events) >= 2:
+        a, b = events[-2]["objective"], events[-1]["objective"]
+        assert abs(a - b) <= 0.15 * max(a, b)

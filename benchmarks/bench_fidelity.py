@@ -1,0 +1,52 @@
+"""Stand-in fidelity report — the measured face of DESIGN.md §3.
+
+Prints structural metrics per dataset stand-in and asserts each matches
+the qualitative profile of the SNAP network it replaces.
+"""
+
+from conftest import emit
+
+from repro.experiments.fidelity import fidelity_expectations, fidelity_report
+from repro.experiments.reporting import ascii_table
+
+
+def test_fidelity_report(benchmark):
+    rows = benchmark.pedantic(
+        fidelity_report, kwargs={"scale": 0.2, "seed": 7}, rounds=1
+    )
+    emit(
+        "Stand-in fidelity (scale 0.2): measured vs paper profile",
+        ascii_table(
+            [
+                "dataset",
+                "type",
+                "avg deg",
+                "paper avg deg",
+                "max/mean deg",
+                "clustering",
+                "reciprocity",
+                "eff. diameter",
+            ],
+            [
+                (
+                    r.name,
+                    "dir" if r.directed else "undir",
+                    r.avg_degree,
+                    r.paper_avg_degree,
+                    r.max_degree_ratio,
+                    r.clustering,
+                    r.reciprocity,
+                    r.effective_diameter,
+                )
+                for r in rows
+            ],
+        ),
+    )
+    assert len(rows) == 5
+    failures = {}
+    for row in rows:
+        checks = fidelity_expectations(row)
+        failed = [name for name, ok in checks.items() if not ok]
+        if failed:
+            failures[row.name] = failed
+    assert not failures, f"fidelity drift: {failures}"

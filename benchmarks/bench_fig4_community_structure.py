@@ -1,0 +1,107 @@
+"""Fig. 4 — solution quality vs community formation and size cap ``s``.
+
+The paper's panels: Louvain vs Random formation on Facebook/DBLP-like
+networks at k=10, sweeping the community size cap s, in both the
+regular (h = 0.5|C|) and bounded (h = 2) threshold settings.
+
+Shape expectations from the paper:
+- our algorithms (UBG/MAF) dominate the heuristics for every formation;
+- in the regular case quality decreases as s grows (larger communities
+  mean higher absolute thresholds);
+- in the bounded case the trend flips/flattens (h stays 2 regardless).
+"""
+
+from conftest import emit
+
+from repro.experiments.figures import fig4_community_structure
+from repro.experiments.reporting import ascii_table
+
+ALGORITHMS = ("UBG", "MAF", "HBC", "KS", "IM")
+SIZE_CAPS = (4, 8, 16)
+
+
+def _render(results):
+    rows = [
+        [f"{formation}/s={s}"] + [results[(formation, s)][a] for a in ALGORITHMS]
+        for (formation, s) in sorted(results)
+    ]
+    return ascii_table(["instance"] + list(ALGORITHMS), rows)
+
+
+def test_fig4_regular_threshold(benchmark, bench_config):
+    results = benchmark.pedantic(
+        fig4_community_structure,
+        kwargs=dict(
+            dataset="facebook",
+            formations=("louvain", "random"),
+            size_caps=SIZE_CAPS,
+            k=10,
+            threshold="fractional",
+            algorithms=ALGORITHMS,
+            base_config=bench_config,
+        ),
+        rounds=1,
+    )
+    emit("Fig. 4 (a/b analogue): facebook-like, h=0.5|C|, k=10", _render(results))
+    for formation in ("louvain", "random"):
+        # Our methods at least match the worst heuristic everywhere and
+        # beat KS (the paper's weakest baseline) on average.
+        ours = [
+            max(results[(formation, s)]["UBG"], results[(formation, s)]["MAF"])
+            for s in SIZE_CAPS
+        ]
+        ks = [results[(formation, s)]["KS"] for s in SIZE_CAPS]
+        assert sum(ours) >= sum(ks)
+        # Regular case: quality at the smallest cap >= at the largest
+        # (the paper's decreasing-in-s observation).
+        assert ours[0] >= ours[-1] * 0.8
+
+
+def test_fig4_bounded_threshold(benchmark, bench_config):
+    results = benchmark.pedantic(
+        fig4_community_structure,
+        kwargs=dict(
+            dataset="facebook",
+            formations=("louvain",),
+            size_caps=SIZE_CAPS,
+            k=10,
+            threshold="bounded",
+            algorithms=ALGORITHMS,
+            base_config=bench_config,
+        ),
+        rounds=1,
+    )
+    emit("Fig. 4 (c analogue): facebook-like, h=2, k=10", _render(results))
+    ours = [
+        max(results[("louvain", s)]["UBG"], results[("louvain", s)]["MAF"])
+        for s in SIZE_CAPS
+    ]
+    ks = [results[("louvain", s)]["KS"] for s in SIZE_CAPS]
+    assert sum(ours) >= sum(ks)
+    # Bounded case: the decreasing-in-s effect weakens/reverses
+    # ("...which contradicts the experiment on bounded activation
+    # threshold"). Allow flat-to-increasing, with slack.
+    assert ours[-1] >= ours[0] * 0.6
+
+
+def test_fig4_dblp_like(benchmark, bench_config):
+    config = bench_config.with_overrides(dataset="dblp", scale=0.12)
+    results = benchmark.pedantic(
+        fig4_community_structure,
+        kwargs=dict(
+            dataset="dblp",
+            formations=("louvain",),
+            size_caps=(4, 8),
+            k=10,
+            threshold="fractional",
+            algorithms=ALGORITHMS,
+            base_config=config,
+        ),
+        rounds=1,
+    )
+    emit("Fig. 4 (d analogue): dblp-like, h=0.5|C|, k=10", _render(results))
+    for s in (4, 8):
+        best_ours = max(
+            results[("louvain", s)]["UBG"], results[("louvain", s)]["MAF"]
+        )
+        assert best_ours >= results[("louvain", s)]["KS"]

@@ -1,0 +1,68 @@
+"""Fig. 5 — benefit vs k, regular case (h = 0.5|C|).
+
+Shape expectations from the paper: UBG returns the best solutions; KS
+is the worst; the gap between our methods and classic IM grows with k;
+all algorithms are close at small k.
+"""
+
+from conftest import emit
+
+from repro.experiments.figures import fig5_benefit_regular
+from repro.experiments.reporting import format_series
+
+ALGORITHMS = ("UBG", "MAF", "HBC", "KS", "IM")
+K_VALUES = (5, 10, 20, 30)
+
+
+def _series(results):
+    return {
+        name: [run.benefit for run in results[name]] for name in ALGORITHMS
+    }
+
+
+def test_fig5_facebook_like(benchmark, bench_config):
+    results = benchmark.pedantic(
+        fig5_benefit_regular,
+        kwargs=dict(
+            dataset="facebook",
+            k_values=K_VALUES,
+            algorithms=ALGORITHMS,
+            base_config=bench_config,
+        ),
+        rounds=1,
+    )
+    series = _series(results)
+    emit(
+        "Fig. 5 (facebook-like analogue): benefit vs k, h=0.5|C|",
+        format_series("k", list(K_VALUES), series),
+    )
+    # Monotone non-decreasing benefit in k for our solvers (loose band
+    # for Monte-Carlo noise).
+    for name in ("UBG", "MAF"):
+        values = series[name]
+        for i in range(1, len(values)):
+            assert values[i] >= values[i - 1] * 0.9, name
+    # UBG/MAF dominate KS at every k and beat IM at the largest k.
+    for i, _ in enumerate(K_VALUES):
+        assert max(series["UBG"][i], series["MAF"][i]) >= series["KS"][i] * 0.95
+    assert max(series["UBG"][-1], series["MAF"][-1]) >= series["IM"][-1] * 0.95
+
+
+def test_fig5_wikivote_like(benchmark, bench_config):
+    config = bench_config.with_overrides(dataset="wikivote", scale=0.25)
+    results = benchmark.pedantic(
+        fig5_benefit_regular,
+        kwargs=dict(
+            dataset="wikivote",
+            k_values=(5, 15, 30),
+            algorithms=ALGORITHMS,
+            base_config=config,
+        ),
+        rounds=1,
+    )
+    series = _series(results)
+    emit(
+        "Fig. 5 (wikivote-like analogue): benefit vs k, h=0.5|C|",
+        format_series("k", [5, 15, 30], series),
+    )
+    assert max(series["UBG"][-1], series["MAF"][-1]) >= series["KS"][-1] * 0.95

@@ -1,0 +1,67 @@
+"""Fig. 7 — runtime comparison on larger networks.
+
+Shape expectations from the paper: MAF runs far faster than UBG and is
+roughly flat in k; UBG's cost grows with k; MB is slower than both by a
+large margin (the paper drops it on Pokec entirely).
+"""
+
+from conftest import emit
+
+from repro.experiments.figures import fig7_runtime
+from repro.experiments.reporting import format_series
+
+K_VALUES = (5, 10, 20)
+
+
+def test_fig7_runtime_bounded(benchmark, bench_config):
+    config = bench_config.with_overrides(dataset="epinions", scale=0.2)
+    results = benchmark.pedantic(
+        fig7_runtime,
+        kwargs=dict(
+            dataset="epinions",
+            k_values=K_VALUES,
+            algorithms=("UBG", "MAF", "MB"),
+            threshold="bounded",
+            base_config=config,
+            candidate_limit=None,  # faithful BT: full outer loop over u
+        ),
+        rounds=1,
+    )
+    series = {
+        name: [run.runtime_seconds for run in results[name]]
+        for name in ("UBG", "MAF", "MB")
+    }
+    emit(
+        "Fig. 7 (a analogue): runtime (s) vs k, epinions-like, h=2",
+        format_series("k", list(K_VALUES), series),
+    )
+    # MAF fastest, MB slowest — the paper's headline runtime ordering.
+    assert sum(series["MAF"]) <= sum(series["UBG"])
+    assert sum(series["MB"]) >= sum(series["MAF"])
+    # MAF roughly flat in k: largest-k run within 5x of smallest-k run.
+    assert series["MAF"][-1] <= max(series["MAF"][0] * 5.0, 0.05)
+
+
+def test_fig7_runtime_regular_large_net(benchmark, bench_config):
+    config = bench_config.with_overrides(dataset="pokec", scale=0.15)
+    results = benchmark.pedantic(
+        fig7_runtime,
+        kwargs=dict(
+            dataset="pokec",
+            k_values=(5, 20),
+            algorithms=("UBG", "MAF"),
+            threshold="fractional",
+            base_config=config,
+        ),
+        rounds=1,
+    )
+    series = {
+        name: [run.runtime_seconds for run in results[name]]
+        for name in ("UBG", "MAF")
+    }
+    emit(
+        "Fig. 7 (b analogue): runtime (s) vs k, pokec-like, h=0.5|C| "
+        "(MB omitted — exceeded the paper's limit on Pokec too)",
+        format_series("k", [5, 20], series),
+    )
+    assert sum(series["MAF"]) <= sum(series["UBG"]) * 1.2

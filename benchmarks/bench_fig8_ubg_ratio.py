@@ -1,0 +1,57 @@
+"""Fig. 8 — the UBG sandwich ratio c(S_nu)/nu(S_nu) vs k.
+
+Shape expectations from the paper: the ratio rises toward 1 as k grows,
+and the bounded-threshold (h=2) curve sits above the regular (h=0.5|C|)
+curve at matched k — smaller thresholds make c(.) "more submodular".
+"""
+
+from conftest import emit
+
+from repro.experiments.figures import fig8_ubg_ratio
+from repro.experiments.reporting import format_series
+
+K_VALUES = (2, 5, 10, 25)
+
+
+def test_fig8_ratio_shapes(benchmark, bench_config):
+    results = benchmark.pedantic(
+        fig8_ubg_ratio,
+        kwargs=dict(
+            dataset="facebook",
+            k_values=K_VALUES,
+            thresholds=("fractional", "bounded"),
+            base_config=bench_config,
+        ),
+        rounds=1,
+    )
+    emit(
+        "Fig. 8 analogue: UBG ratio c(S_nu)/nu(S_nu) vs k",
+        format_series("k", list(K_VALUES), results),
+    )
+    for mode, ratios in results.items():
+        assert all(0.0 <= r <= 1.0 + 1e-9 for r in ratios), mode
+        # Rising toward 1 with k (allow small non-monotonic noise).
+        assert ratios[-1] >= ratios[0] - 0.05, mode
+    # Bounded thresholds give the larger ratio at the largest k.
+    assert results["bounded"][-1] >= results["fractional"][-1] - 0.05
+    # And at the largest k the bounded ratio is close to 1.
+    assert results["bounded"][-1] > 0.6
+
+
+def test_fig8_ratio_wikivote(benchmark, bench_config):
+    config = bench_config.with_overrides(dataset="wikivote", scale=0.2)
+    results = benchmark.pedantic(
+        fig8_ubg_ratio,
+        kwargs=dict(
+            dataset="wikivote",
+            k_values=(5, 20),
+            thresholds=("bounded",),
+            base_config=config,
+        ),
+        rounds=1,
+    )
+    emit(
+        "Fig. 8 analogue (wikivote-like, h=2)",
+        format_series("k", [5, 20], results),
+    )
+    assert results["bounded"][-1] >= results["bounded"][0] - 0.05

@@ -1,0 +1,67 @@
+"""Microbenchmark — RIC sample generation throughput.
+
+Algorithm 1's cost is proportional to the explored (reverse-reachable)
+neighbourhood. This bench measures samples/second per dataset stand-in
+and per threshold policy — the number that dominates every solver's
+wall-clock.
+"""
+
+import time
+
+from conftest import SCALE, emit
+
+from repro.communities.louvain import louvain_communities
+from repro.communities.thresholds import build_structure, constant_thresholds
+from repro.datasets.registry import load_dataset
+from repro.experiments.reporting import ascii_table
+from repro.sampling.pool import RICSamplePool
+from repro.sampling.ric import RICSampler
+
+DATASETS = ("facebook", "wikivote", "epinions")
+SAMPLES = max(300, int(500 * SCALE))
+
+
+def test_ric_throughput(benchmark):
+    instances = []
+    for name in DATASETS:
+        dataset = load_dataset(name, scale=0.15 * SCALE, seed=7)
+        blocks = louvain_communities(dataset.graph, seed=7)
+        communities = build_structure(
+            blocks, size_cap=8, threshold_policy=constant_thresholds(2)
+        )
+        instances.append((name, dataset.graph, communities))
+
+    def run():
+        rows = []
+        for name, graph, communities in instances:
+            sampler = RICSampler(graph, communities, seed=11)
+            pool = RICSamplePool(sampler)
+            start = time.perf_counter()
+            pool.grow(SAMPLES)
+            elapsed = time.perf_counter() - start
+            total_reach = sum(
+                len(reach)
+                for sample in pool.samples
+                for reach in sample.reach_sets
+            )
+            rows.append(
+                (
+                    name,
+                    graph.num_nodes,
+                    graph.num_edges,
+                    SAMPLES / elapsed,
+                    total_reach / SAMPLES,
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1)
+    emit(
+        f"RIC sampling throughput ({SAMPLES} samples per dataset)",
+        ascii_table(
+            ["dataset", "nodes", "edges", "samples/s", "avg reach size"],
+            rows,
+        ),
+    )
+    for _, _, _, throughput, _ in rows:
+        assert throughput > 50  # laptop-scale sanity floor

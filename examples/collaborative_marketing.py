@@ -1,0 +1,70 @@
+"""Collaborative viral marketing (the paper's first motivating setting).
+
+A product is only valuable in a *group* context (e.g. a team messaging
+tool): a workgroup adopts it only once enough of its members are
+influenced. Workgroups are disjoint communities; the marketer has k free
+licenses to hand out and wants to maximize the number of adopting
+groups, weighted by group size (seats sold).
+
+The script contrasts the community-aware UBG seeds against classic
+influence maximization — showing IM's weakness the paper highlights:
+IM scatters influence widely, leaving many groups just *below* their
+adoption threshold.
+
+Run:  python examples/collaborative_marketing.py
+"""
+
+from repro import (
+    UBG,
+    BenefitEvaluator,
+    assign_weighted_cascade,
+    build_structure,
+    fractional_thresholds,
+    im_seeds,
+    planted_partition_graph,
+    solve_imc,
+)
+
+SEED = 11
+K = 12
+
+
+def main() -> None:
+    # A company-like network: 40 workgroups of 6-10 people, dense inside
+    # (colleagues), sparse across (cross-team contacts).
+    sizes = [6 + (i % 5) for i in range(40)]
+    graph, blocks = planted_partition_graph(
+        sizes, p_in=0.45, p_out=0.01, directed=True, seed=SEED
+    )
+    assign_weighted_cascade(graph)
+    print(f"org network: {graph.num_nodes} people, {graph.num_edges} ties, "
+          f"{len(blocks)} workgroups")
+
+    # A group adopts when half its members are influenced; the benefit
+    # of an adopting group is its seat count.
+    communities = build_structure(
+        blocks, size_cap=None, threshold_policy=fractional_thresholds(0.5)
+    )
+    evaluate = BenefitEvaluator(graph, communities, num_trials=1000, seed=SEED)
+
+    # Community-aware seeding (IMC with UBG).
+    imc = solve_imc(
+        graph, communities, k=K, solver=UBG(), seed=SEED, max_samples=20_000
+    )
+    imc_benefit = evaluate(imc.selection.seeds)
+
+    # Classic IM seeding (maximize raw spread, ignore groups).
+    im = im_seeds(graph, K, seed=SEED, max_samples=20_000)
+    im_benefit = evaluate(im)
+
+    print(f"\n{'strategy':<28}{'expected seats from adopting groups':>38}")
+    print(f"{'IMC (UBG, group-aware)':<28}{imc_benefit:>38.1f}")
+    print(f"{'classic IM (spread only)':<28}{im_benefit:>38.1f}")
+    ratio = imc_benefit / im_benefit if im_benefit > 0 else float("inf")
+    print(f"\ncommunity-aware seeding gains {ratio:.2f}x over classic IM")
+    overlap = len(set(imc.selection.seeds) & set(im))
+    print(f"seed overlap between the strategies: {overlap}/{K}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+"""Electoral-college campaign targeting (the paper's third setting).
+
+Each community is a state: winner-take-all, so a state "converts" only
+when enough of its voters are influenced (its activation threshold),
+and yields its electoral votes (its benefit). The campaign has budget
+for k grassroots ambassadors and wants to maximize expected electoral
+votes — a textbook IMC instance where per-voter spread (classic IM) is
+the wrong objective: 49% of a state is worth nothing.
+
+Run:  python examples/election_campaign.py
+"""
+
+from repro import (
+    UBG,
+    BenefitEvaluator,
+    Community,
+    CommunityStructure,
+    assign_weighted_cascade,
+    barabasi_albert_graph,
+    im_seeds,
+    ks_seeds,
+    solve_imc,
+)
+
+SEED = 5
+K = 14
+
+# (state name, voters in the sample, electoral votes, threshold fraction)
+STATES = [
+    ("Alden", 30, 9, 0.5),
+    ("Brook", 24, 6, 0.5),
+    ("Cedar", 40, 12, 0.5),
+    ("Dover", 18, 4, 0.5),
+    ("Elm", 36, 11, 0.5),
+    ("Frost", 22, 5, 0.5),
+    ("Gale", 28, 8, 0.5),
+    ("Harbor", 32, 10, 0.5),
+]
+
+
+def main() -> None:
+    total_voters = sum(size for _, size, _, _ in STATES)
+    # A national social network: scale-free (media-hub heavy) with
+    # states as contiguous id blocks.
+    graph = barabasi_albert_graph(total_voters, 4, directed=False, seed=SEED)
+    assign_weighted_cascade(graph)
+
+    communities = []
+    start = 0
+    for name, size, votes, fraction in STATES:
+        communities.append(
+            Community(
+                members=tuple(range(start, start + size)),
+                threshold=max(1, round(fraction * size)),
+                benefit=float(votes),
+            )
+        )
+        start += size
+    structure = CommunityStructure(communities)
+    total_votes = structure.total_benefit
+    print(
+        f"electorate: {total_voters} voters across {len(STATES)} states, "
+        f"{total_votes:g} electoral votes at stake"
+    )
+
+    evaluate = BenefitEvaluator(graph, structure, num_trials=1500, seed=SEED)
+    print(f"\nexpected electoral votes with k={K} ambassadors:")
+    strategies = {
+        "IMC (UBG)": solve_imc(
+            graph, structure, k=K, solver=UBG(), seed=SEED, max_samples=5_000
+        ).selection.seeds,
+        "classic IM": tuple(im_seeds(graph, K, seed=SEED, max_samples=10_000)),
+        "KS (ignore topology)": tuple(ks_seeds(structure, K)),
+    }
+    for label, seeds in strategies.items():
+        votes = evaluate(seeds)
+        print(f"  {label:<22}{votes:7.2f} EV  ({100 * votes / total_votes:5.1f}%)")
+
+    # Which states does the IMC strategy actually target?
+    targeted = {}
+    for seed_node in strategies["IMC (UBG)"]:
+        idx = structure.community_of(seed_node)
+        if idx is not None:
+            targeted[STATES[idx][0]] = targeted.get(STATES[idx][0], 0) + 1
+    print("\nIMC ambassador allocation by state:")
+    for state, count in sorted(targeted.items(), key=lambda kv: -kv[1]):
+        print(f"  {state:<8}{count} ambassadors")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,101 @@
+"""Power-grid information-attack analysis (the paper's second setting).
+
+Defensive vulnerability assessment of a social-network-coupled smart
+grid (Pan et al., IEEE Access 2017, cited by the paper): an adversary
+who influences enough electric users *within a geographic neighborhood*
+(e.g. to synchronously shift load) can trigger inter-area oscillations.
+Neighborhoods are disjoint communities; a neighborhood is "compromised"
+when a threshold fraction of its residents is influenced, and its
+impact weight is its load share.
+
+A grid operator runs this analysis to find the most dangerous k
+accounts to monitor/harden — comparing how each algorithm bounds the
+worst-case compromised load.
+
+Run:  python examples/grid_attack.py
+"""
+
+from repro import (
+    MAF,
+    UBG,
+    BenefitEvaluator,
+    Community,
+    CommunityStructure,
+    assign_weighted_cascade,
+    hbc_seeds,
+    high_degree_seeds,
+    solve_imc,
+    watts_strogatz_graph,
+)
+from repro.rng import make_rng
+
+SEED = 23
+K = 8
+NUM_NEIGHBORHOODS = 25
+HOMES_PER_NEIGHBORHOOD = 8
+
+
+def main() -> None:
+    rng = make_rng(SEED)
+    n = NUM_NEIGHBORHOODS * HOMES_PER_NEIGHBORHOOD
+    # Residents talk mostly to geographic neighbours with a few long
+    # "online" shortcuts — a small-world social layer over the grid.
+    graph = watts_strogatz_graph(n, neighbors=6, rewire_probability=0.15, seed=SEED)
+    assign_weighted_cascade(graph)
+
+    # Contiguous id blocks are neighborhoods; each needs 50% of homes
+    # influenced to destabilise, weighted by its (randomised) load share.
+    communities = CommunityStructure(
+        [
+            Community(
+                members=tuple(
+                    range(
+                        i * HOMES_PER_NEIGHBORHOOD,
+                        (i + 1) * HOMES_PER_NEIGHBORHOOD,
+                    )
+                ),
+                threshold=HOMES_PER_NEIGHBORHOOD // 2,
+                benefit=float(rng.randint(5, 20)),  # MW of local load
+            )
+            for i in range(NUM_NEIGHBORHOODS)
+        ]
+    )
+    total_load = communities.total_benefit
+    print(
+        f"grid: {NUM_NEIGHBORHOODS} neighborhoods, {n} homes, "
+        f"{total_load:g} MW total load"
+    )
+
+    evaluate = BenefitEvaluator(graph, communities, num_trials=1000, seed=SEED)
+    print(f"\nworst-case compromised load for k={K} attacker-controlled accounts:")
+    for label, seeds in (
+        (
+            "IMC attack (UBG)",
+            solve_imc(
+                graph, communities, k=K, solver=UBG(), seed=SEED,
+                max_samples=20_000,
+            ).selection.seeds,
+        ),
+        (
+            "IMC attack (MAF)",
+            solve_imc(
+                graph, communities, k=K, solver=MAF(seed=SEED), seed=SEED,
+                max_samples=20_000,
+            ).selection.seeds,
+        ),
+        ("HBC heuristic", hbc_seeds(graph, communities, K)),
+        ("high-degree accounts", high_degree_seeds(graph, K)),
+    ):
+        load = evaluate(seeds)
+        print(
+            f"  {label:<24}{load:8.1f} MW "
+            f"({100 * load / total_load:5.1f}% of load)  seeds={sorted(seeds)[:6]}..."
+        )
+    print(
+        "\nhardening guidance: the UBG seed accounts are the highest-"
+        "leverage monitoring targets."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,124 @@
+"""Regenerate every table and figure of the paper in one run.
+
+Runs the full evaluation suite at a configurable scale, prints each
+artifact as ASCII (the same renderer the benchmarks use) and archives
+everything under ``results/`` — JSON for the raw runs (reloadable via
+``repro.experiments.persistence``) and a markdown report.
+
+Run:  python examples/reproduce_all.py [--scale 0.15] [--out results]
+"""
+
+import argparse
+import json
+from pathlib import Path
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.figures import (
+    fig4_community_structure,
+    fig5_benefit_regular,
+    fig6_benefit_bounded,
+    fig7_runtime,
+    fig8_ubg_ratio,
+)
+from repro.experiments.persistence import save_runs
+from repro.experiments.reporting import ascii_table, format_series
+from repro.experiments.tables import table1_text
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.15)
+    parser.add_argument("--pool-size", type=int, default=600)
+    parser.add_argument("--eval-trials", type=int, default=150)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--out", default="results")
+    args = parser.parse_args()
+
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    config = ExperimentConfig(
+        dataset="facebook",
+        scale=args.scale,
+        pool_size=args.pool_size,
+        eval_trials=args.eval_trials,
+        seed=args.seed,
+    )
+    report = ["# Reproduction run", ""]
+
+    def section(title: str, body: str) -> None:
+        print(f"\n===== {title} =====\n{body}")
+        report.extend([f"## {title}", "", "```", body, "```", ""])
+
+    # Table I ----------------------------------------------------------
+    section("Table I — datasets", table1_text(scale=args.scale, seed=args.seed))
+
+    # Fig. 4 -----------------------------------------------------------
+    fig4 = fig4_community_structure(base_config=config, size_caps=(4, 8, 16))
+    algorithms = sorted(next(iter(fig4.values())))
+    rows = [
+        [f"{formation}/s={s}"] + [fig4[(formation, s)][a] for a in algorithms]
+        for (formation, s) in sorted(fig4)
+    ]
+    section(
+        "Fig. 4 — quality vs formation and size cap (k=10)",
+        ascii_table(["instance"] + algorithms, rows),
+    )
+    (out / "fig4.json").write_text(
+        json.dumps(
+            {f"{f}/s={s}": values for (f, s), values in fig4.items()},
+            indent=2,
+            sort_keys=True,
+        )
+    )
+
+    # Fig. 5 / Fig. 6 ---------------------------------------------------
+    for name, driver, extra in (
+        ("fig5", fig5_benefit_regular, {}),
+        ("fig6", fig6_benefit_bounded, {"candidate_limit": 25}),
+    ):
+        k_values = (5, 10, 20)
+        results = driver(k_values=k_values, base_config=config, **extra)
+        series = {
+            alg: [run.benefit for run in runs] for alg, runs in results.items()
+        }
+        section(
+            f"{name} — benefit vs k "
+            f"({'regular' if name == 'fig5' else 'bounded h=2'})",
+            format_series("k", list(k_values), series),
+        )
+        save_runs(
+            results,
+            out / f"{name}.json",
+            metadata={"scale": args.scale, "seed": args.seed},
+        )
+
+    # Fig. 7 -----------------------------------------------------------
+    fig7 = fig7_runtime(
+        dataset="epinions",
+        k_values=(5, 10, 20),
+        base_config=config.with_overrides(dataset="epinions"),
+        candidate_limit=None,
+    )
+    runtime_series = {
+        alg: [run.runtime_seconds for run in runs] for alg, runs in fig7.items()
+    }
+    section(
+        "fig7 — runtime (s) vs k (epinions-like, h=2)",
+        format_series("k", [5, 10, 20], runtime_series),
+    )
+    save_runs(fig7, out / "fig7.json", metadata={"scale": args.scale})
+
+    # Fig. 8 -----------------------------------------------------------
+    fig8 = fig8_ubg_ratio(k_values=(2, 5, 10, 25), base_config=config)
+    section(
+        "fig8 — UBG sandwich ratio vs k",
+        format_series("k", [2, 5, 10, 25], fig8),
+    )
+    (out / "fig8.json").write_text(json.dumps(fig8, indent=2, sort_keys=True))
+
+    (out / "report.md").write_text("\n".join(report))
+    print(f"\nall artifacts written to {out}/")
+
+
+if __name__ == "__main__":
+    main()

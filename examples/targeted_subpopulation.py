@@ -1,0 +1,68 @@
+"""Targeted seeding: only opted-in users can be seeded.
+
+Real campaigns cannot seed arbitrary users — only those who opted into
+a partnership program (or, for the defensive reading, only accounts an
+auditor may instrument). Every solver in this library accepts a
+``candidates`` restriction; this example measures the price of
+increasingly thin candidate pools and shows the solver re-routing its
+budget through the eligible users.
+
+Run:  python examples/targeted_subpopulation.py
+"""
+
+from repro import (
+    UBG,
+    BenefitEvaluator,
+    assign_weighted_cascade,
+    build_structure,
+    fractional_thresholds,
+    planted_partition_graph,
+)
+from repro.rng import make_rng
+from repro.sampling.pool import RICSamplePool
+from repro.sampling.ric import RICSampler
+
+SEED = 47
+K = 10
+
+
+def main() -> None:
+    graph, blocks = planted_partition_graph(
+        [8] * 25, p_in=0.4, p_out=0.01, directed=True, seed=SEED
+    )
+    assign_weighted_cascade(graph)
+    communities = build_structure(
+        blocks, size_cap=None, threshold_policy=fractional_thresholds(0.5)
+    )
+    pool = RICSamplePool(RICSampler(graph, communities, seed=SEED))
+    pool.grow(4000)
+    evaluate = BenefitEvaluator(graph, communities, num_trials=800, seed=SEED)
+    rng = make_rng(SEED)
+
+    n = graph.num_nodes
+    print(f"network: {n} users, {communities.r} communities, k={K}\n")
+    print(f"{'opt-in rate':<14}{'eligible':>9}{'c(S)':>9}{'vs free':>9}")
+
+    free = UBG().solve(pool, K)
+    free_benefit = evaluate(free.seeds)
+    print(f"{'100% (free)':<14}{n:>9}{free_benefit:>9.1f}{'100%':>9}")
+
+    for rate in (0.5, 0.25, 0.1, 0.05):
+        eligible = frozenset(rng.sample(range(n), max(K, int(rate * n))))
+        result = UBG(candidates=eligible).solve(pool, K)
+        benefit = evaluate(result.seeds)
+        assert set(result.seeds) <= eligible
+        print(
+            f"{f'{rate:.0%} opt-in':<14}{len(eligible):>9}{benefit:>9.1f}"
+            f"{benefit / free_benefit:>9.0%}"
+        )
+
+    print(
+        "\neven a 10% opt-in pool keeps most of the unrestricted value — "
+        "RIC coverage lets the solver find eligible users that reach the "
+        "same communities through different paths."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Thin setup.py shim.
+
+Metadata lives in pyproject.toml; this file exists so the package can be
+installed in environments whose setuptools predates bundled bdist_wheel
+support (legacy editable installs: ``pip install -e . --no-use-pep517
+--no-build-isolation``).
+"""
+
+from setuptools import setup
+
+setup()

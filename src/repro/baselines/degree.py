@@ -1,0 +1,24 @@
+"""Degree and random seed baselines (sanity anchors for experiments)."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import SolverError
+from repro.graph.analysis import max_degree_nodes
+from repro.graph.digraph import DiGraph
+from repro.rng import SeedLike, make_rng
+from repro.utils.validation import check_seed_budget
+
+
+def high_degree_seeds(graph: DiGraph, k: int) -> List[int]:
+    """The ``k`` highest out-degree nodes."""
+    check_seed_budget(k, graph.num_nodes, SolverError)
+    return max_degree_nodes(graph, k, direction="out")
+
+
+def random_seeds(graph: DiGraph, k: int, seed: SeedLike = None) -> List[int]:
+    """``k`` uniformly random distinct nodes."""
+    check_seed_budget(k, graph.num_nodes, SolverError)
+    rng = make_rng(seed)
+    return sorted(rng.sample(range(graph.num_nodes), k))

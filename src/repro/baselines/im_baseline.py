@@ -1,0 +1,34 @@
+"""The ``IM`` baseline: maximize spread, then measure community benefit.
+
+"IM selects k nodes that maximize the influence spread. Then we
+estimate their expected benefit on influenced communities."
+(Section VI-A.) Backed by the RIS solver in :mod:`repro.im`.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.graph.digraph import DiGraph
+from repro.im.ris_im import ris_im
+from repro.rng import SeedLike
+
+
+def im_seeds(
+    graph: DiGraph,
+    k: int,
+    epsilon: float = 0.2,
+    delta: float = 0.2,
+    seed: SeedLike = None,
+    max_samples: int = 100_000,
+) -> List[int]:
+    """Seeds of the classic-IM baseline (community-blind)."""
+    seeds, _ = ris_im(
+        graph,
+        k,
+        epsilon=epsilon,
+        delta=delta,
+        seed=seed,
+        max_samples=max_samples,
+    )
+    return seeds

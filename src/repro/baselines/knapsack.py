@@ -1,0 +1,63 @@
+"""Knapsack-like (KS) baseline.
+
+KS treats each community's activation threshold as the *cost* of
+influencing it and its benefit as the value, then solves the resulting
+0/1 knapsack with capacity ``k`` exactly by dynamic programming
+(``O(r·k)``). For every selected community, its ``h_i`` cheapest seeds
+(the members themselves) enter the seed set. KS ignores the network
+topology and the diffusion model entirely — the paper includes it to
+show how much that costs.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.communities.structure import CommunityStructure
+from repro.errors import SolverError
+from repro.utils.validation import check_positive
+
+
+def knapsack_communities(
+    communities: CommunityStructure, budget: int
+) -> List[int]:
+    """Indices of the benefit-maximal community set with total
+    threshold cost at most ``budget`` (exact 0/1 knapsack DP)."""
+    check_positive(budget, "budget", SolverError)
+    r = communities.r
+    costs = communities.thresholds()
+    values = communities.benefits()
+    # dp[w] = best value using capacity w; choice tracking for recovery.
+    dp = [0.0] * (budget + 1)
+    take = [[False] * (budget + 1) for _ in range(r)]
+    for i in range(r):
+        cost, value = costs[i], values[i]
+        if cost > budget:
+            continue
+        for w in range(budget, cost - 1, -1):
+            candidate = dp[w - cost] + value
+            if candidate > dp[w]:
+                dp[w] = candidate
+                take[i][w] = True
+    chosen: List[int] = []
+    w = budget
+    for i in range(r - 1, -1, -1):
+        if take[i][w]:
+            chosen.append(i)
+            w -= costs[i]
+    chosen.reverse()
+    return chosen
+
+
+def ks_seeds(
+    communities: CommunityStructure, k: int
+) -> List[int]:
+    """Seed set of the KS baseline: ``h_i`` members of each selected
+    community (members with the smallest ids, deterministically)."""
+    selected = knapsack_communities(communities, k)
+    seeds: List[int] = []
+    for index in selected:
+        community = communities[index]
+        members = sorted(community.members)[: community.threshold]
+        seeds.extend(members)
+    return seeds

@@ -1,0 +1,349 @@
+"""Command-line interface.
+
+Four subcommands cover the common workflows::
+
+    python -m repro datasets                 # Table I stand-in registry
+    python -m repro table1 --scale 0.2      # regenerate Table I
+    python -m repro solve --dataset facebook --solver UBG --k 10
+    python -m repro figure fig5 --dataset facebook
+
+All randomness is controlled by ``--seed``; every command prints plain
+ASCII tables (the same renderer the benchmark harness uses).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.communities.louvain import louvain_communities
+from repro.communities.thresholds import (
+    build_structure,
+    constant_thresholds,
+    fractional_thresholds,
+)
+from repro.core.bt import BT, MB
+from repro.core.framework import solve_imc
+from repro.core.maf import MAF
+from repro.core.ubg import UBG, GreedyC
+from repro.datasets.registry import DATASETS, load_dataset
+from repro.diffusion.simulator import BenefitEvaluator
+from repro.errors import ReproError
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.figures import (
+    fig4_community_structure,
+    fig5_benefit_regular,
+    fig6_benefit_bounded,
+    fig7_runtime,
+    fig8_ubg_ratio,
+)
+from repro.experiments.reporting import ascii_table, format_series
+from repro.experiments.tables import table1_text
+from repro.rng import derive_seed
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Influence Maximization at the Community level (IMC) — "
+            "ICDCS 2019 reproduction"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("datasets", help="list the Table I dataset stand-ins")
+
+    table1 = sub.add_parser("table1", help="regenerate Table I")
+    table1.add_argument("--scale", type=float, default=0.2)
+    table1.add_argument("--seed", type=int, default=7)
+
+    solve = sub.add_parser("solve", help="solve an IMC instance")
+    solve.add_argument("--dataset", default="facebook", choices=list(DATASETS))
+    solve.add_argument("--scale", type=float, default=0.2)
+    solve.add_argument(
+        "--solver",
+        default="UBG",
+        choices=["UBG", "MAF", "BT", "MB", "GreedyC"],
+    )
+    solve.add_argument("--k", type=int, default=10)
+    solve.add_argument(
+        "--threshold", default="bounded", choices=["bounded", "fractional"]
+    )
+    solve.add_argument("--size-cap", type=int, default=8)
+    solve.add_argument("--epsilon", type=float, default=0.2)
+    solve.add_argument("--delta", type=float, default=0.2)
+    solve.add_argument("--seed", type=int, default=7)
+    solve.add_argument("--max-samples", type=int, default=20_000)
+    solve.add_argument("--model", default="ic", choices=["ic", "lt"])
+    solve.add_argument(
+        "--eval-trials",
+        type=int,
+        default=500,
+        help="Monte-Carlo trials for the final c(S) estimate (0 skips)",
+    )
+    solve.add_argument(
+        "--report",
+        action="store_true",
+        help="print the per-community outcome breakdown (top 15 rows)",
+    )
+
+    compare = sub.add_parser(
+        "compare", help="run several algorithms on one instance"
+    )
+    compare.add_argument("--dataset", default="facebook", choices=list(DATASETS))
+    compare.add_argument("--scale", type=float, default=0.15)
+    compare.add_argument(
+        "--algorithms",
+        default="UBG,MAF,HBC,KS,IM",
+        help="comma-separated algorithm names",
+    )
+    compare.add_argument(
+        "--k", default="5,10", help="comma-separated seed budgets"
+    )
+    compare.add_argument(
+        "--threshold", default="fractional", choices=["bounded", "fractional"]
+    )
+    compare.add_argument("--pool-size", type=int, default=600)
+    compare.add_argument("--eval-trials", type=int, default=150)
+    compare.add_argument("--seed", type=int, default=7)
+    compare.add_argument(
+        "--trials",
+        type=int,
+        default=1,
+        help="repeat with derived seeds and report mean ± CI",
+    )
+
+    figure = sub.add_parser("figure", help="regenerate a paper figure")
+    figure.add_argument(
+        "name", choices=["fig4", "fig5", "fig6", "fig7", "fig8"]
+    )
+    figure.add_argument("--dataset", default="facebook", choices=list(DATASETS))
+    figure.add_argument("--scale", type=float, default=0.15)
+    figure.add_argument("--pool-size", type=int, default=600)
+    figure.add_argument("--eval-trials", type=int, default=150)
+    figure.add_argument("--seed", type=int, default=7)
+
+    return parser
+
+
+def _make_solver(name: str, seed: Optional[int]):
+    if name == "UBG":
+        return UBG()
+    if name == "MAF":
+        return MAF(seed=seed)
+    if name == "BT":
+        return BT()
+    if name == "MB":
+        return MB(seed=seed)
+    return GreedyC()
+
+
+def _cmd_datasets() -> int:
+    rows = [
+        (
+            spec.name,
+            "Directed" if spec.directed else "Undirected",
+            spec.paper_nodes,
+            spec.paper_edges,
+            spec.substitution,
+        )
+        for spec in DATASETS.values()
+    ]
+    print(
+        ascii_table(
+            ["Data", "Type", "Paper nodes", "Paper edges", "Stand-in"], rows
+        )
+    )
+    return 0
+
+
+def _cmd_table1(args) -> int:
+    print(table1_text(scale=args.scale, seed=args.seed))
+    return 0
+
+
+def _cmd_solve(args) -> int:
+    dataset = load_dataset(
+        args.dataset, scale=args.scale, seed=derive_seed(args.seed, "dataset")
+    )
+    graph = dataset.graph
+    blocks = louvain_communities(graph, seed=derive_seed(args.seed, "louvain"))
+    policy = (
+        constant_thresholds(2)
+        if args.threshold == "bounded"
+        else fractional_thresholds(0.5)
+    )
+    communities = build_structure(
+        blocks, size_cap=args.size_cap, threshold_policy=policy
+    )
+    print(
+        f"instance: {args.dataset} n={graph.num_nodes} m={graph.num_edges} "
+        f"r={communities.r} b={communities.total_benefit:g} "
+        f"h_max={communities.max_threshold}"
+    )
+    solver = _make_solver(args.solver, derive_seed(args.seed, "solver"))
+    result = solve_imc(
+        graph,
+        communities,
+        k=args.k,
+        solver=solver,
+        epsilon=args.epsilon,
+        delta=args.delta,
+        seed=args.seed,
+        max_samples=args.max_samples,
+        model=args.model,
+    )
+    print(f"seeds: {sorted(result.selection.seeds)}")
+    print(
+        f"stopped_by={result.stopped_by} samples={result.num_samples} "
+        f"iterations={result.iterations} alpha={result.alpha:.4f}"
+    )
+    print(f"pool objective c_R(S) = {result.selection.objective:.3f}")
+    if args.eval_trials > 0:
+        evaluate = BenefitEvaluator(
+            graph,
+            communities,
+            num_trials=args.eval_trials,
+            model=args.model,
+            seed=derive_seed(args.seed, "eval"),
+        )
+        print(
+            f"Monte-Carlo c(S) = {evaluate(result.selection.seeds):.3f} "
+            f"(of b = {communities.total_benefit:g})"
+        )
+    if args.report:
+        from repro.experiments.solution_report import (
+            render_report,
+            solution_report,
+        )
+
+        outcomes = solution_report(
+            graph,
+            communities,
+            result.selection.seeds,
+            num_trials=max(args.eval_trials, 100),
+            seed=derive_seed(args.seed, "report"),
+        )
+        print(render_report(outcomes, top=15))
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    algorithms = [a.strip() for a in args.algorithms.split(",") if a.strip()]
+    k_values = [int(k) for k in args.k.split(",") if k.strip()]
+    config = ExperimentConfig(
+        dataset=args.dataset,
+        scale=args.scale,
+        threshold=args.threshold,
+        pool_size=args.pool_size,
+        eval_trials=args.eval_trials,
+        seed=args.seed,
+    )
+    if args.trials <= 1:
+        from repro.experiments.runner import run_suite
+
+        results = run_suite(config, algorithms, k_values)
+        rows = []
+        for name in algorithms:
+            for run in results[name]:
+                rows.append(
+                    (name, run.k, run.benefit, run.runtime_seconds)
+                )
+        print(
+            ascii_table(["algorithm", "k", "c(S) (MC)", "runtime (s)"], rows)
+        )
+    else:
+        from repro.experiments.stats import repeat_suite
+
+        cells = repeat_suite(config, algorithms, k_values, trials=args.trials)
+        rows = [
+            (
+                cell.algorithm,
+                cell.k,
+                f"{cell.mean_benefit:.3f} ± {cell.ci_half_width:.3f}",
+                cell.mean_runtime,
+            )
+            for cell in cells
+        ]
+        print(
+            ascii_table(
+                ["algorithm", "k", f"c(S) mean ± CI ({args.trials} trials)", "runtime (s)"],
+                rows,
+            )
+        )
+    return 0
+
+
+def _cmd_figure(args) -> int:
+    config = ExperimentConfig(
+        dataset=args.dataset,
+        scale=args.scale,
+        pool_size=args.pool_size,
+        eval_trials=args.eval_trials,
+        seed=args.seed,
+    )
+    if args.name == "fig4":
+        results = fig4_community_structure(
+            dataset=args.dataset, base_config=config
+        )
+        algorithms = sorted(next(iter(results.values())))
+        rows = [
+            [f"{formation}/s={s}"]
+            + [results[(formation, s)][a] for a in algorithms]
+            for (formation, s) in sorted(results)
+        ]
+        print(ascii_table(["instance"] + algorithms, rows))
+    elif args.name in ("fig5", "fig6"):
+        driver = fig5_benefit_regular if args.name == "fig5" else fig6_benefit_bounded
+        k_values = (5, 10, 20, 30)
+        results = driver(
+            dataset=args.dataset, k_values=k_values, base_config=config
+        )
+        series = {
+            name: [run.benefit for run in runs] for name, runs in results.items()
+        }
+        print(format_series("k", list(k_values), series))
+    elif args.name == "fig7":
+        k_values = (5, 10, 20)
+        results = fig7_runtime(
+            dataset=args.dataset, k_values=k_values, base_config=config
+        )
+        series = {
+            name: [run.runtime_seconds for run in runs]
+            for name, runs in results.items()
+        }
+        print(format_series("k", list(k_values), series))
+    else:
+        k_values = (2, 5, 10, 25)
+        results = fig8_ubg_ratio(
+            dataset=args.dataset, k_values=k_values, base_config=config
+        )
+        print(format_series("k", list(k_values), results))
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "datasets":
+            return _cmd_datasets()
+        if args.command == "table1":
+            return _cmd_table1(args)
+        if args.command == "solve":
+            return _cmd_solve(args)
+        if args.command == "compare":
+            return _cmd_compare(args)
+        if args.command == "figure":
+            return _cmd_figure(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 1  # pragma: no cover - unreachable with required subparsers
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,58 @@
+"""Community substrate: structures, detection, thresholds and benefits.
+
+The IMC problem takes a collection of *disjoint* communities, each with
+an activation threshold ``h_i`` and a benefit ``b_i``. This package
+provides the :class:`~repro.communities.structure.CommunityStructure`
+data model, a from-scratch Louvain detector (the paper's partitioner),
+the Random partition baseline, the size-cap splitting rule (``s``), and
+the paper's threshold/benefit policies.
+"""
+
+from repro.communities.io import (
+    load_structure,
+    save_structure,
+    structure_from_dict,
+    structure_to_dict,
+)
+from repro.communities.greedy_modularity import greedy_modularity_communities
+from repro.communities.label_propagation import label_propagation_communities
+from repro.communities.metrics import (
+    adjusted_rand_index,
+    normalized_mutual_information,
+    partition_agreement,
+)
+from repro.communities.louvain import louvain_communities
+from repro.communities.modularity import modularity
+from repro.communities.random_partition import random_partition
+from repro.communities.structure import Community, CommunityStructure
+from repro.communities.thresholds import (
+    apply_size_cap,
+    build_structure,
+    constant_thresholds,
+    fractional_thresholds,
+    population_benefits,
+    unit_benefits,
+)
+
+__all__ = [
+    "Community",
+    "CommunityStructure",
+    "louvain_communities",
+    "label_propagation_communities",
+    "greedy_modularity_communities",
+    "random_partition",
+    "modularity",
+    "normalized_mutual_information",
+    "adjusted_rand_index",
+    "partition_agreement",
+    "save_structure",
+    "load_structure",
+    "structure_to_dict",
+    "structure_from_dict",
+    "apply_size_cap",
+    "build_structure",
+    "constant_thresholds",
+    "fractional_thresholds",
+    "population_benefits",
+    "unit_benefits",
+]

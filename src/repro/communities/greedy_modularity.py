@@ -1,0 +1,105 @@
+"""Greedy modularity (CNM) community detection, from scratch.
+
+Clauset–Newman–Moore agglomeration: start from singleton communities
+and repeatedly merge the pair with the largest modularity gain ``ΔQ``,
+tracking the best partition seen. A third detector besides Louvain and
+label propagation — slower but deterministic (no RNG at all), which
+makes it the reference formation for reproducibility-sensitive studies.
+
+Works on the symmetrised unweighted view of the graph, like the other
+detectors.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from repro.graph.digraph import DiGraph
+from repro.utils.heap import LazyMaxHeap
+
+
+def greedy_modularity_communities(
+    graph: DiGraph,
+    min_gain: float = 0.0,
+) -> List[List[int]]:
+    """Detect communities by CNM greedy modularity maximisation.
+
+    Merging stops when the best available ``ΔQ`` drops to ``min_gain``
+    or below (0.0 = classic CNM: merge only while modularity improves).
+    Returns sorted member lists ordered by smallest member, the same
+    contract as the other detectors.
+    """
+    n = graph.num_nodes
+    if n == 0:
+        return []
+
+    # Symmetrised adjacency weights between current communities.
+    # e[i][j] = fraction of edge endpoints between communities i and j.
+    neighbors: List[Dict[int, float]] = [dict() for _ in range(n)]
+    degree = [0.0] * n
+    seen: Set[Tuple[int, int]] = set()
+    for u, v, _ in graph.edges():
+        key = (min(u, v), max(u, v))
+        if key in seen:
+            continue
+        seen.add(key)
+        neighbors[u][v] = neighbors[u].get(v, 0.0) + 1.0
+        neighbors[v][u] = neighbors[v].get(u, 0.0) + 1.0
+        degree[u] += 1.0
+        degree[v] += 1.0
+    two_m = sum(degree)
+    if two_m == 0:
+        return [[v] for v in range(n)]
+
+    # Community bookkeeping: members, fractions a_i = deg_i / 2m,
+    # e_ij = edges(i,j) / m... we work with raw counts and divide by 2m
+    # only inside the gain formula: dQ = 2*(e_ij/2m - a_i*a_j).
+    members: Dict[int, List[int]] = {v: [v] for v in range(n)}
+    community_degree = degree[:]
+    links: List[Dict[int, float]] = [dict(nb) for nb in neighbors]
+    alive = set(range(n))
+
+    def gain(i: int, j: int) -> float:
+        e_ij = links[i].get(j, 0.0)
+        return 2.0 * (
+            e_ij / two_m
+            - (community_degree[i] / two_m) * (community_degree[j] / two_m)
+        )
+
+    heap: LazyMaxHeap[Tuple[int, int]] = LazyMaxHeap()
+    for i in alive:
+        for j in links[i]:
+            if i < j:
+                heap.push((i, j), gain(i, j))
+
+    while heap:
+        (i, j), cached = heap.pop_max()
+        if i not in alive or j not in alive:
+            continue
+        fresh = gain(i, j)
+        if abs(fresh - cached) > 1e-12:
+            heap.push((i, j), fresh)
+            continue
+        if fresh <= min_gain:
+            break
+        # Merge j into i.
+        alive.discard(j)
+        members[i].extend(members.pop(j))
+        community_degree[i] += community_degree[j]
+        for neighbor, weight in links[j].items():
+            if neighbor == i:
+                continue
+            links[i][neighbor] = links[i].get(neighbor, 0.0) + weight
+            links[neighbor].pop(j, None)
+            links[neighbor][i] = links[i][neighbor]
+        links[i].pop(j, None)
+        links[j] = {}
+        # Refresh heap entries for i's neighbourhood.
+        for neighbor in links[i]:
+            if neighbor in alive:
+                a, b = (i, neighbor) if i < neighbor else (neighbor, i)
+                heap.push((a, b), gain(a, b))
+
+    communities = [sorted(member_list) for member_list in members.values()]
+    communities.sort(key=lambda member_list: member_list[0])
+    return communities

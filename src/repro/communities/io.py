@@ -1,0 +1,74 @@
+"""JSON persistence for community structures.
+
+Experiments often reuse one expensive Louvain partition across many
+runs; these helpers round-trip a :class:`CommunityStructure` (members,
+thresholds, benefits) through a stable JSON schema::
+
+    {"version": 1,
+     "communities": [{"members": [...], "threshold": 2, "benefit": 8.0}, ...]}
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Union
+
+from repro.communities.structure import Community, CommunityStructure
+from repro.errors import CommunityError
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+_SCHEMA_VERSION = 1
+
+
+def structure_to_dict(structure: CommunityStructure) -> dict:
+    """Serialise ``structure`` to a plain JSON-compatible dict."""
+    return {
+        "version": _SCHEMA_VERSION,
+        "communities": [
+            {
+                "members": list(c.members),
+                "threshold": c.threshold,
+                "benefit": c.benefit,
+            }
+            for c in structure
+        ],
+    }
+
+
+def structure_from_dict(payload: dict) -> CommunityStructure:
+    """Rebuild a :class:`CommunityStructure` from
+    :func:`structure_to_dict` output (validates as it builds)."""
+    if not isinstance(payload, dict) or "communities" not in payload:
+        raise CommunityError("payload is not a serialised community structure")
+    version = payload.get("version")
+    if version != _SCHEMA_VERSION:
+        raise CommunityError(
+            f"unsupported community-structure schema version {version!r}"
+        )
+    communities = []
+    for entry in payload["communities"]:
+        try:
+            communities.append(
+                Community(
+                    members=tuple(entry["members"]),
+                    threshold=int(entry["threshold"]),
+                    benefit=float(entry["benefit"]),
+                )
+            )
+        except (KeyError, TypeError) as exc:
+            raise CommunityError(f"malformed community entry {entry!r}") from exc
+    return CommunityStructure(communities)
+
+
+def save_structure(structure: CommunityStructure, path: PathLike) -> None:
+    """Write ``structure`` to ``path`` as JSON."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(structure_to_dict(structure), fh, indent=2, sort_keys=True)
+
+
+def load_structure(path: PathLike) -> CommunityStructure:
+    """Read a structure previously written by :func:`save_structure`."""
+    with open(path, "r", encoding="utf-8") as fh:
+        return structure_from_dict(json.load(fh))

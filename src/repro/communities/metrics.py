@@ -1,0 +1,118 @@
+"""Partition comparison metrics: NMI and ARI, from scratch.
+
+Used to score detected communities against ground truth (e.g. the
+planted partition a generator returns) and to quantify how differently
+two detectors carve the same network — the companion measurements to
+the formation experiments (Fig. 4 and the formation ablation).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import CommunityError
+
+
+def _labels_from_blocks(
+    blocks: Sequence[Sequence[int]],
+) -> Dict[int, int]:
+    labels: Dict[int, int] = {}
+    for label, block in enumerate(blocks):
+        for node in block:
+            if node in labels:
+                raise CommunityError(f"node {node} appears in two blocks")
+            labels[node] = label
+    return labels
+
+
+def _aligned_labels(
+    blocks_a: Sequence[Sequence[int]],
+    blocks_b: Sequence[Sequence[int]],
+) -> Tuple[List[int], List[int]]:
+    labels_a = _labels_from_blocks(blocks_a)
+    labels_b = _labels_from_blocks(blocks_b)
+    if set(labels_a) != set(labels_b):
+        raise CommunityError(
+            "partitions cover different node sets "
+            f"({len(labels_a)} vs {len(labels_b)} nodes)"
+        )
+    nodes = sorted(labels_a)
+    return [labels_a[v] for v in nodes], [labels_b[v] for v in nodes]
+
+
+def normalized_mutual_information(
+    blocks_a: Sequence[Sequence[int]],
+    blocks_b: Sequence[Sequence[int]],
+) -> float:
+    """NMI with arithmetic-mean normalisation, in ``[0, 1]``.
+
+    1.0 for identical partitions; ~0 for independent ones. Both
+    partitions must cover exactly the same node set. When both
+    partitions are single blocks (zero entropy each) they are identical
+    by definition and NMI is 1.
+    """
+    a, b = _aligned_labels(blocks_a, blocks_b)
+    n = len(a)
+    count_a = Counter(a)
+    count_b = Counter(b)
+    joint = Counter(zip(a, b))
+
+    def entropy(counts: Counter) -> float:
+        return -sum(
+            (c / n) * math.log(c / n) for c in counts.values() if c > 0
+        )
+
+    h_a, h_b = entropy(count_a), entropy(count_b)
+    if h_a == 0.0 and h_b == 0.0:
+        return 1.0
+    mutual = 0.0
+    for (label_a, label_b), c_ab in joint.items():
+        p_ab = c_ab / n
+        p_a = count_a[label_a] / n
+        p_b = count_b[label_b] / n
+        mutual += p_ab * math.log(p_ab / (p_a * p_b))
+    denominator = (h_a + h_b) / 2.0
+    if denominator == 0.0:
+        return 0.0
+    return max(0.0, min(1.0, mutual / denominator))
+
+
+def adjusted_rand_index(
+    blocks_a: Sequence[Sequence[int]],
+    blocks_b: Sequence[Sequence[int]],
+) -> float:
+    """ARI (Hubert-Arabie), in ``[-1, 1]``; 1 iff identical, ~0 for
+    random agreement."""
+    a, b = _aligned_labels(blocks_a, blocks_b)
+    n = len(a)
+
+    def comb2(x: int) -> float:
+        return x * (x - 1) / 2.0
+
+    count_a = Counter(a)
+    count_b = Counter(b)
+    joint = Counter(zip(a, b))
+    sum_joint = sum(comb2(c) for c in joint.values())
+    sum_a = sum(comb2(c) for c in count_a.values())
+    sum_b = sum(comb2(c) for c in count_b.values())
+    total = comb2(n)
+    if total == 0:
+        return 1.0
+    expected = sum_a * sum_b / total
+    maximum = (sum_a + sum_b) / 2.0
+    if maximum == expected:
+        return 1.0  # both partitions degenerate identically
+    return (sum_joint - expected) / (maximum - expected)
+
+
+def partition_agreement(
+    blocks_a: Sequence[Sequence[int]],
+    blocks_b: Sequence[Sequence[int]],
+) -> Dict[str, float]:
+    """Both metrics in one dict: ``{"nmi": ..., "ari": ...}``."""
+    return {
+        "nmi": normalized_mutual_information(blocks_a, blocks_b),
+        "ari": adjusted_rand_index(blocks_a, blocks_b),
+    }

@@ -1,0 +1,45 @@
+"""Random partition baseline (Section VI-A).
+
+"In the Random algorithm, we fix the number of communities and randomly
+put nodes into communities." Used in the paper to measure how much the
+community-formation method matters for IMC solution quality (Fig. 4).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import CommunityError
+from repro.rng import SeedLike, make_rng
+
+
+def random_partition(
+    num_nodes: int,
+    num_communities: int,
+    seed: SeedLike = None,
+) -> List[List[int]]:
+    """Partition ``0..num_nodes-1`` into ``num_communities`` random blocks.
+
+    Every block is guaranteed non-empty (requires
+    ``num_communities <= num_nodes``); beyond that nodes are assigned
+    uniformly at random. Blocks are returned with sorted members.
+    """
+    if num_communities < 1:
+        raise CommunityError(
+            f"num_communities must be >= 1, got {num_communities}"
+        )
+    if num_communities > num_nodes:
+        raise CommunityError(
+            f"cannot split {num_nodes} nodes into {num_communities} "
+            "non-empty communities"
+        )
+    rng = make_rng(seed)
+    nodes = list(range(num_nodes))
+    rng.shuffle(nodes)
+    blocks: List[List[int]] = [[] for _ in range(num_communities)]
+    # Seed each block with one node so none is empty, then scatter the rest.
+    for i in range(num_communities):
+        blocks[i].append(nodes[i])
+    for node in nodes[num_communities:]:
+        blocks[rng.randrange(num_communities)].append(node)
+    return [sorted(block) for block in blocks]

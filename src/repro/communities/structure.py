@@ -1,0 +1,171 @@
+"""Community data model.
+
+``Com = {C_i}`` is a collection of *disjoint* node sets. Each community
+carries an activation threshold ``h_i`` (it is *influenced* when at least
+``h_i`` members are activated) and a benefit ``b_i`` (the reward for
+influencing it). ``CommunityStructure`` validates disjointness and
+provides the member→community index used everywhere downstream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import CommunityError
+
+
+@dataclass(frozen=True)
+class Community:
+    """One community: its members, activation threshold and benefit."""
+
+    members: Tuple[int, ...]
+    threshold: int
+    benefit: float
+
+    def __post_init__(self) -> None:
+        if not self.members:
+            raise CommunityError("a community must have at least one member")
+        if len(set(self.members)) != len(self.members):
+            raise CommunityError("community members must be distinct")
+        if not (1 <= self.threshold <= len(self.members)):
+            raise CommunityError(
+                f"threshold {self.threshold} must lie in [1, |C|={len(self.members)}]"
+            )
+        if self.benefit < 0:
+            raise CommunityError(f"benefit must be non-negative, got {self.benefit}")
+
+    @property
+    def size(self) -> int:
+        """Number of members ``|C_i|``."""
+        return len(self.members)
+
+    def __contains__(self, node: int) -> bool:
+        return node in self.members
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+
+class CommunityStructure:
+    """A validated collection of disjoint communities over node ids.
+
+    Exposes the notation of the paper:
+
+    - ``r`` — number of communities,
+    - ``total_benefit`` — ``b = Σ b_i``,
+    - ``min_benefit`` — ``β = min_i b_i``,
+    - ``max_threshold`` — ``h = max_i h_i``,
+    - ``benefit_distribution`` — ``ρ(C_i) = b_i / b``, the RIC source
+      distribution.
+    """
+
+    def __init__(self, communities: Sequence[Community]) -> None:
+        if not communities:
+            raise CommunityError("a community structure needs >= 1 community")
+        self._communities: Tuple[Community, ...] = tuple(communities)
+        self._community_of: Dict[int, int] = {}
+        for idx, community in enumerate(self._communities):
+            for node in community.members:
+                if node in self._community_of:
+                    raise CommunityError(
+                        f"node {node} belongs to two communities "
+                        f"({self._community_of[node]} and {idx}); "
+                        "IMC requires disjoint communities"
+                    )
+                self._community_of[node] = idx
+
+    # ------------------------------------------------------------------
+    # Container protocol
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._communities)
+
+    def __iter__(self):
+        return iter(self._communities)
+
+    def __getitem__(self, index: int) -> Community:
+        return self._communities[index]
+
+    # ------------------------------------------------------------------
+    # Paper notation
+    # ------------------------------------------------------------------
+
+    @property
+    def r(self) -> int:
+        """Number of communities ``r = |Com|``."""
+        return len(self._communities)
+
+    @property
+    def total_benefit(self) -> float:
+        """``b = Σ_i b_i`` — normaliser of the RIC source distribution."""
+        return sum(c.benefit for c in self._communities)
+
+    @property
+    def min_benefit(self) -> float:
+        """``β = min_i b_i`` (used in the ``c(S*) >= βk/h`` lower bound)."""
+        return min(c.benefit for c in self._communities)
+
+    @property
+    def max_threshold(self) -> int:
+        """``h = max_i h_i``."""
+        return max(c.threshold for c in self._communities)
+
+    @property
+    def covered_nodes(self) -> int:
+        """Number of nodes belonging to some community."""
+        return len(self._community_of)
+
+    def benefit_distribution(self) -> List[float]:
+        """``ρ(C_i) = b_i / b`` as a list aligned with community indices.
+
+        Raises :class:`CommunityError` when all benefits are zero, since
+        ``ρ`` would be undefined (no community could ever contribute).
+        """
+        total = self.total_benefit
+        if total <= 0:
+            raise CommunityError(
+                "benefit distribution undefined: all community benefits are 0"
+            )
+        return [c.benefit / total for c in self._communities]
+
+    def community_of(self, node: int) -> Optional[int]:
+        """Index of the community containing ``node``; None if uncovered."""
+        return self._community_of.get(node)
+
+    def community_members(self, index: int) -> Tuple[int, ...]:
+        """Members of community ``index``."""
+        return self._communities[index].members
+
+    def thresholds(self) -> List[int]:
+        """All activation thresholds, aligned with community indices."""
+        return [c.threshold for c in self._communities]
+
+    def benefits(self) -> List[float]:
+        """All benefits, aligned with community indices."""
+        return [c.benefit for c in self._communities]
+
+    def max_threshold_at_most(self, bound: int) -> bool:
+        """Whether every threshold is at most ``bound``.
+
+        BT/MB require bounded thresholds; solvers use this check to fail
+        fast with a clear error instead of silently losing the guarantee.
+        """
+        return self.max_threshold <= bound
+
+    def validate_against(self, num_nodes: int) -> None:
+        """Check every member id is a valid node of an ``n``-node graph."""
+        for community in self._communities:
+            for node in community.members:
+                if not (0 <= node < num_nodes):
+                    raise CommunityError(
+                        f"community member {node} is not a node of the "
+                        f"{num_nodes}-node graph"
+                    )
+
+    def __repr__(self) -> str:
+        return (
+            f"CommunityStructure(r={self.r}, covered={self.covered_nodes}, "
+            f"h_max={self.max_threshold}, b={self.total_benefit:g})"
+        )

@@ -1,0 +1,140 @@
+"""Incremental coverage state over a RIC sample pool.
+
+Both MAXR objectives are functions of, per sample ``g``, the set of
+*covered members* ``I_g(S) = {u ∈ C_g : R_g(u) ∩ S ≠ ∅}``:
+
+- ``ĉ_R``  counts samples with ``|I_g(S)| ≥ h_g``          (eq. 3),
+- ``ν_R``  sums ``min(|I_g(S)|/h_g, 1)``                   (eq. 7).
+
+:class:`CoverageState` maintains ``I_g(S)`` incrementally as seeds are
+added, and computes the marginal gain of a candidate node for either
+objective in time proportional to the candidate's coverage list — the
+workhorse of every greedy solver in this package.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.errors import SolverError
+from repro.sampling.pool import RICSamplePool
+
+
+class CoverageState:
+    """Mutable coverage bookkeeping for greedy selection on a pool."""
+
+    def __init__(self, pool: RICSamplePool) -> None:
+        self.pool = pool
+        self.seeds: List[int] = []
+        self._seed_set: Set[int] = set()
+        # covered[g] = set of member indices of sample g hit by the seeds.
+        self._covered: List[Set[int]] = [set() for _ in pool.samples]
+        self._influenced = 0
+        self._fractional = 0.0
+
+    # ------------------------------------------------------------------
+    # Current objective values
+    # ------------------------------------------------------------------
+
+    @property
+    def influenced_count(self) -> int:
+        """``Σ_g X_g(S)`` for the current seed set."""
+        return self._influenced
+
+    @property
+    def fractional_count(self) -> float:
+        """``Σ_g min(|I_g(S)|/h_g, 1)`` for the current seed set."""
+        return self._fractional
+
+    def estimate_benefit(self) -> float:
+        """``ĉ_R(S)`` for the current seed set."""
+        if not self.pool.samples:
+            return 0.0
+        return (
+            self.pool.total_benefit * self._influenced / len(self.pool.samples)
+        )
+
+    def estimate_upper_bound(self) -> float:
+        """``ν_R(S)`` for the current seed set."""
+        if not self.pool.samples:
+            return 0.0
+        return (
+            self.pool.total_benefit * self._fractional / len(self.pool.samples)
+        )
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+
+    def add_seed(self, node: int) -> None:
+        """Add ``node`` to the seed set and update all per-sample state."""
+        if node in self._seed_set:
+            raise SolverError(f"node {node} is already a seed")
+        self.seeds.append(node)
+        self._seed_set.add(node)
+        samples = self.pool.samples
+        for sample_idx, member_idx in self.pool.coverage_of(node):
+            covered = self._covered[sample_idx]
+            if member_idx in covered:
+                continue
+            threshold = samples[sample_idx].threshold
+            before = len(covered)
+            covered.add(member_idx)
+            if before < threshold:
+                self._fractional += 1.0 / threshold
+                if before + 1 == threshold:
+                    self._influenced += 1
+
+    # ------------------------------------------------------------------
+    # Marginal gains
+    # ------------------------------------------------------------------
+
+    def _new_coverage(self, node: int) -> Dict[int, int]:
+        """Per-sample count of members newly covered by ``node``."""
+        fresh: Dict[int, Set[int]] = {}
+        for sample_idx, member_idx in self.pool.coverage_of(node):
+            if member_idx not in self._covered[sample_idx]:
+                fresh.setdefault(sample_idx, set()).add(member_idx)
+        return {idx: len(members) for idx, members in fresh.items()}
+
+    def gain_influenced(self, node: int) -> int:
+        """Marginal ``Σ_g X_g`` gain of adding ``node`` (ĉ objective)."""
+        if node in self._seed_set:
+            return 0
+        samples = self.pool.samples
+        gain = 0
+        for sample_idx, new in self._new_coverage(node).items():
+            current = len(self._covered[sample_idx])
+            threshold = samples[sample_idx].threshold
+            if current < threshold <= current + new:
+                gain += 1
+        return gain
+
+    def gain_fractional(self, node: int) -> float:
+        """Marginal ``Σ_g min(|I_g|/h_g, 1)`` gain of ``node`` (ν objective)."""
+        if node in self._seed_set:
+            return 0.0
+        samples = self.pool.samples
+        gain = 0.0
+        for sample_idx, new in self._new_coverage(node).items():
+            current = len(self._covered[sample_idx])
+            threshold = samples[sample_idx].threshold
+            if current < threshold:
+                gain += (min(current + new, threshold) - current) / threshold
+        return gain
+
+    def gain_pair(self, node: int) -> Tuple[int, float]:
+        """Both marginals in one pass (used by the ĉ greedy's tie-break)."""
+        if node in self._seed_set:
+            return 0, 0.0
+        samples = self.pool.samples
+        gain_c = 0
+        gain_nu = 0.0
+        for sample_idx, new in self._new_coverage(node).items():
+            current = len(self._covered[sample_idx])
+            threshold = samples[sample_idx].threshold
+            if current < threshold:
+                gain_nu += (min(current + new, threshold) - current) / threshold
+                if current + new >= threshold:
+                    gain_c += 1
+        return gain_c, gain_nu

@@ -1,0 +1,73 @@
+"""Theoretical approximation ratios and bounds from the paper.
+
+Pure functions of the instance parameters, used by solvers (``alpha``
+for sample-complexity bounds), by tests (guarantee checks on small
+instances) and by the experiment reports.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import SolverError
+
+#: ``1 - 1/e`` — the classic submodular greedy constant.
+ONE_MINUS_INV_E = 1.0 - 1.0 / math.e
+
+
+def maf_ratio(k: int, max_threshold: int, num_communities: int) -> float:
+    """Theorem 3: MAF is a ``⌊k/h⌋ / r`` approximation (capped at 1 —
+    a ratio above 1 is vacuous once the budget covers every community)."""
+    if k < 1 or max_threshold < 1 or num_communities < 1:
+        raise SolverError("maf_ratio requires positive k, h and r")
+    return min(1.0, (k // max_threshold) / num_communities)
+
+
+def bt_ratio(k: int, threshold_bound: int = 2) -> float:
+    """Theorem 4 (+ induction): BT^(d) is a ``(1-1/e)/k^{d-1}`` approximation."""
+    if k < 1 or threshold_bound < 1:
+        raise SolverError("bt_ratio requires positive k and threshold bound")
+    return ONE_MINUS_INV_E / (k ** (threshold_bound - 1))
+
+
+def mb_ratio(k: int, num_communities: int) -> float:
+    """Theorem 5: MB is a ``√((1-1/e)·⌊k/2⌋/(k·r))`` approximation.
+
+    The geometric mean of the MAF and BT guarantees; for large ``k``
+    this is ``Θ(√((1-1/e)/r))``, matching the inapproximability bound.
+    """
+    if k < 1 or num_communities < 1:
+        raise SolverError("mb_ratio requires positive k and r")
+    if k < 2:
+        return bt_ratio(k, 2)
+    return min(
+        1.0, math.sqrt(ONE_MINUS_INV_E * (k // 2) / (k * num_communities))
+    )
+
+
+def sandwich_ratio(value_at_nu_solution: float, upper_bound_at_nu_solution: float) -> float:
+    """Theorem 2 data-dependent factor ``ĉ(S_ν)/ν(S_ν)`` of UBG.
+
+    The full UBG guarantee is this factor times ``1 - 1/e``.
+    """
+    if upper_bound_at_nu_solution < 0 or value_at_nu_solution < 0:
+        raise SolverError("sandwich_ratio requires non-negative objective values")
+    if upper_bound_at_nu_solution == 0:
+        return 1.0
+    return value_at_nu_solution / upper_bound_at_nu_solution
+
+
+def inapproximability_bound(num_communities: int, c: float = 1.0) -> float:
+    """Theorem 1 hardness threshold ``r^{1/(2(log log r)^c)}``.
+
+    No polynomial algorithm beats this factor (under ETH). Returned as
+    the multiplicative factor itself; meaningful for ``r`` large enough
+    that ``log log r > 0`` (``r ≥ 16`` is safe).
+    """
+    if num_communities < 16:
+        raise SolverError(
+            "inapproximability bound needs r >= 16 for log log r to be "
+            f"meaningfully positive, got r={num_communities}"
+        )
+    r = float(num_communities)
+    return r ** (1.0 / (2.0 * (math.log(math.log(r))) ** c))

@@ -1,0 +1,137 @@
+"""The Densest-k-Subgraph → IMC reduction of Theorem 1, executable.
+
+The paper proves IMC's inapproximability by reducing DkS to IMC: every
+undirected edge ``e = {a, b}`` becomes a 2-node community
+``C_e = {a_e, b_e}`` with threshold 2; all copies of the same original
+node form a strongly connected cluster ``U_a`` of weight-1 edges, so
+seeding any one copy activates them all. Then ``e(S_D) = c(S_I)`` —
+the number of edges induced by a DkS solution equals the benefit of
+the lifted IMC solution — which transfers DkS's ETH hardness to IMC.
+
+This module makes the construction concrete (useful for tests, for
+teaching, and for generating adversarial IMC instances whose optima are
+known from small DkS instances), with the lift/project maps of the
+proof's two observations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
+
+from repro.communities.structure import Community, CommunityStructure
+from repro.errors import SolverError
+from repro.graph.analysis import forward_reachable
+from repro.graph.digraph import DiGraph
+
+
+@dataclass(frozen=True)
+class DkSReduction:
+    """The IMC instance produced from a DkS instance.
+
+    - ``graph``: the deterministic (all weight-1) IMC graph ``G_I``;
+    - ``communities``: one threshold-2, benefit-1 community per edge;
+    - ``copies_of``: original node -> its copy ids (the cluster U_a);
+    - ``corresponding``: copy id -> original node.
+    """
+
+    graph: DiGraph
+    communities: CommunityStructure
+    copies_of: Dict[int, Tuple[int, ...]]
+    corresponding: Dict[int, int]
+    edges: Tuple[Tuple[int, int], ...]
+
+    def lift(self, dks_solution: Iterable[int]) -> List[int]:
+        """Observation 1: one arbitrary copy per selected DkS node."""
+        lifted = []
+        for a in dks_solution:
+            copies = self.copies_of.get(a)
+            if not copies:
+                raise SolverError(
+                    f"DkS node {a} has no copies (it is isolated and "
+                    "does not appear in the IMC instance)"
+                )
+            lifted.append(copies[0])
+        return lifted
+
+    def project(self, imc_solution: Iterable[int]) -> List[int]:
+        """Observation 2: map each seed copy back to its original node."""
+        return sorted({self.corresponding[v] for v in imc_solution})
+
+    def benefit(self, imc_seeds: Iterable[int]) -> float:
+        """Exact ``c(S)`` on the deterministic instance (weights are 1,
+        so a single forward reachability computes it)."""
+        active = forward_reachable(self.graph, list(imc_seeds))
+        total = 0.0
+        for community in self.communities:
+            covered = sum(1 for m in community.members if m in active)
+            if covered >= community.threshold:
+                total += community.benefit
+        return total
+
+
+def induced_edge_count(
+    edges: Sequence[Tuple[int, int]], nodes: Iterable[int]
+) -> int:
+    """``e(S)`` — edges of the DkS graph with both endpoints in ``S``."""
+    node_set = set(nodes)
+    return sum(1 for a, b in edges if a in node_set and b in node_set)
+
+
+def dks_to_imc(
+    edges: Sequence[Tuple[int, int]],
+) -> DkSReduction:
+    """Build the Theorem 1 IMC instance from an undirected edge list.
+
+    ``edges`` are pairs of original node labels (ints). Self-loops and
+    duplicate edges are rejected — DkS is defined on simple graphs.
+    """
+    seen: Set[FrozenSet[int]] = set()
+    normalized: List[Tuple[int, int]] = []
+    for a, b in edges:
+        if a == b:
+            raise SolverError(f"DkS graphs are simple; self-loop at {a}")
+        key = frozenset((a, b))
+        if key in seen:
+            raise SolverError(f"duplicate edge {{{a}, {b}}}")
+        seen.add(key)
+        normalized.append((a, b))
+    if not normalized:
+        raise SolverError("the DkS instance has no edges")
+
+    copies_of: Dict[int, List[int]] = {}
+    corresponding: Dict[int, int] = {}
+    communities: List[Community] = []
+    next_id = 0
+
+    def new_copy(original: int) -> int:
+        nonlocal next_id
+        copy_id = next_id
+        next_id += 1
+        copies_of.setdefault(original, []).append(copy_id)
+        corresponding[copy_id] = original
+        return copy_id
+
+    for a, b in normalized:
+        a_copy = new_copy(a)
+        b_copy = new_copy(b)
+        communities.append(
+            Community(members=(a_copy, b_copy), threshold=2, benefit=1.0)
+        )
+
+    graph = DiGraph(next_id)
+    # Strongly connect each U_a with a weight-1 directed cycle — the
+    # cheapest strongly connected gadget.
+    for copies in copies_of.values():
+        if len(copies) < 2:
+            continue
+        for i, copy_id in enumerate(copies):
+            graph.add_edge(copy_id, copies[(i + 1) % len(copies)], 1.0)
+
+    return DkSReduction(
+        graph=graph,
+        communities=CommunityStructure(communities),
+        copies_of={a: tuple(c) for a, c in copies_of.items()},
+        corresponding=corresponding,
+        edges=tuple(normalized),
+    )

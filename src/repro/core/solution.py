@@ -1,0 +1,35 @@
+"""Solver result container."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Tuple
+
+
+@dataclass(frozen=True)
+class SeedSelection:
+    """A seed set chosen by a MAXR/IMC solver.
+
+    ``objective`` is the solver's own estimate of its objective at
+    return time (``ĉ_R(S)`` for MAXR solvers); ``metadata`` carries
+    solver-specific diagnostics such as the sandwich ratio for UBG or
+    which arm won for MAF/MB.
+    """
+
+    seeds: Tuple[int, ...]
+    objective: float
+    solver: str
+    metadata: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if len(set(self.seeds)) != len(self.seeds):
+            raise ValueError("seed set contains duplicates")
+
+    @property
+    def k(self) -> int:
+        """Number of seeds selected."""
+        return len(self.seeds)
+
+    def seed_set(self) -> set:
+        """The seeds as a set."""
+        return set(self.seeds)

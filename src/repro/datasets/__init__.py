@@ -1,0 +1,27 @@
+"""Dataset substrate: synthetic stand-ins for the paper's SNAP datasets.
+
+The paper evaluates on five SNAP networks (Table I). This environment
+has no network access, so each dataset is replaced by a seeded synthetic
+generator matched on directedness, scale ratio of edges to nodes, and
+degree-distribution family — the properties the IMC algorithms are
+sensitive to. The substitution is documented per dataset in the spec's
+``substitution`` field and in DESIGN.md.
+"""
+
+from repro.datasets.registry import (
+    DATASETS,
+    Dataset,
+    DatasetSpec,
+    dataset_names,
+    dataset_statistics,
+    load_dataset,
+)
+
+__all__ = [
+    "Dataset",
+    "DatasetSpec",
+    "DATASETS",
+    "dataset_names",
+    "load_dataset",
+    "dataset_statistics",
+]

@@ -1,0 +1,112 @@
+"""Monte-Carlo estimators with guarantees.
+
+Implements the Stopping Rule Algorithm of Dagum, Karp, Luby and Ross
+("An optimal algorithm for Monte Carlo estimation", SIAM J. Comput.
+2000), which the paper's ``Estimate`` procedure (Algorithm 6) is built
+on: keep drawing i.i.d. ``[0, 1]`` outcomes until their running sum
+reaches ``Λ' = 1 + 4(e-2)·ln(2/δ)·(1+ε)/ε²``; then ``Λ'/T`` is an
+(ε, δ)-approximation of the mean.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Iterable, Optional, Sequence, Tuple
+
+from repro.errors import EstimationError
+from repro.utils.validation import check_fraction
+
+#: e - 2, the constant in the Dagum et al. stopping-rule threshold.
+_E_MINUS_2 = math.e - 2.0
+
+
+def stopping_rule_threshold(epsilon: float, delta: float) -> float:
+    """``Λ' = 1 + 4(e-2)·ln(2/δ)·(1+ε)/ε²`` (Alg. 6, line 1)."""
+    check_fraction(epsilon, "epsilon", EstimationError)
+    check_fraction(delta, "delta", EstimationError)
+    return 1.0 + 4.0 * _E_MINUS_2 * math.log(2.0 / delta) * (1.0 + epsilon) / (
+        epsilon * epsilon
+    )
+
+
+@dataclass(frozen=True)
+class DagumEstimate:
+    """Result of a stopping-rule run.
+
+    ``value`` is the estimated mean (or ``None`` when the trial budget
+    ran out before the threshold was hit — the caller decides how to
+    react; IMCAF keeps doubling its sample pool in that case).
+    """
+
+    value: Optional[float]
+    trials: int
+    successes: float
+    converged: bool
+
+
+def dagum_stopping_rule(
+    draw: Callable[[], float],
+    epsilon: float,
+    delta: float,
+    max_trials: Optional[int] = None,
+) -> DagumEstimate:
+    """Estimate ``E[X]`` of a ``[0, 1]``-valued variable via ``draw``.
+
+    Draws until the running sum reaches the threshold ``Λ'`` or
+    ``max_trials`` is exhausted. On convergence the estimate ``Λ'/T``
+    satisfies ``Pr[|est - E[X]| <= ε·E[X]] >= 1 - δ``.
+    """
+    threshold = stopping_rule_threshold(epsilon, delta)
+    total = 0.0
+    trials = 0
+    while total < threshold:
+        if max_trials is not None and trials >= max_trials:
+            return DagumEstimate(
+                value=None, trials=trials, successes=total, converged=False
+            )
+        outcome = draw()
+        if not (0.0 <= outcome <= 1.0):
+            raise EstimationError(
+                f"stopping rule requires outcomes in [0, 1], got {outcome!r}"
+            )
+        total += outcome
+        trials += 1
+    return DagumEstimate(
+        value=threshold / trials, trials=trials, successes=total, converged=True
+    )
+
+
+def mean_with_confidence(
+    values: Sequence[float], z: float = 1.96
+) -> Tuple[float, float]:
+    """Sample mean and half-width of a normal-approximation CI.
+
+    Used by the experiment harness to report the spread across repeated
+    trials (the paper averages ten runs per configuration).
+    """
+    if not values:
+        raise EstimationError("cannot summarise an empty sample")
+    n = len(values)
+    mean = sum(values) / n
+    if n == 1:
+        return mean, 0.0
+    variance = sum((v - mean) ** 2 for v in values) / (n - 1)
+    half_width = z * math.sqrt(variance / n)
+    return mean, half_width
+
+
+def hoeffding_trials(epsilon: float, delta: float, value_range: float = 1.0) -> int:
+    """Trials for an *additive* ``(ε, δ)`` guarantee via Hoeffding.
+
+    ``T >= range² · ln(2/δ) / (2ε²)``. Provided for comparison with the
+    (much cheaper on small means) multiplicative stopping rule.
+    """
+    check_fraction(delta, "delta", EstimationError)
+    if epsilon <= 0:
+        raise EstimationError(f"epsilon must be positive, got {epsilon}")
+    if value_range <= 0:
+        raise EstimationError(f"value_range must be positive, got {value_range}")
+    return math.ceil(
+        value_range * value_range * math.log(2.0 / delta) / (2.0 * epsilon * epsilon)
+    )

@@ -1,0 +1,56 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch a single base class at API boundaries while the library
+itself raises the most specific subclass available.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class GraphError(ReproError):
+    """Raised for structurally invalid graph operations.
+
+    Examples include referencing a node outside ``range(n)``, adding an
+    edge with a probability outside ``[0, 1]``, or loading a malformed
+    edge-list file.
+    """
+
+
+class CommunityError(ReproError):
+    """Raised for invalid community structures.
+
+    A valid structure partitions a subset of ``V`` into *disjoint*
+    communities with positive thresholds not exceeding the community size
+    and non-negative benefits.
+    """
+
+
+class SamplingError(ReproError):
+    """Raised when RIC / RR sample generation receives invalid input."""
+
+
+class SolverError(ReproError):
+    """Raised when a MAXR / IMC solver is mis-configured.
+
+    Examples: ``k`` larger than the number of nodes, a bounded-threshold
+    algorithm (BT/MB) applied to an instance whose thresholds exceed its
+    declared bound, or an empty sample pool handed to a solver that
+    requires one.
+    """
+
+
+class EstimationError(ReproError):
+    """Raised when a Monte-Carlo estimator is given invalid parameters."""
+
+
+class DatasetError(ReproError):
+    """Raised for unknown dataset names or invalid dataset specs."""
+
+
+class ExperimentError(ReproError):
+    """Raised for malformed experiment configurations."""

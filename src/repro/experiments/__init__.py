@@ -1,0 +1,108 @@
+"""Experiment harness reproducing every table and figure of the paper.
+
+Declarative configs (:mod:`~repro.experiments.config`), a runner that
+builds instances and times algorithms (:mod:`~repro.experiments.runner`),
+per-figure drivers (:mod:`~repro.experiments.figures`), the Table-I
+driver (:mod:`~repro.experiments.tables`) and ASCII reporting
+(:mod:`~repro.experiments.reporting`).
+
+Each figure driver returns plain data structures (series of points), so
+the benchmark modules can both print the paper-style rows and assert the
+qualitative shape.
+"""
+
+from repro.experiments.campaign import (
+    CampaignCell,
+    best_algorithm_per_cell,
+    campaign_records,
+    run_campaign,
+)
+from repro.experiments.config import ALGORITHMS, ExperimentConfig
+from repro.experiments.fidelity import (
+    FidelityRow,
+    fidelity_expectations,
+    fidelity_report,
+)
+from repro.experiments.figures import (
+    fig4_community_structure,
+    fig5_benefit_regular,
+    fig6_benefit_bounded,
+    fig7_runtime,
+    fig8_ubg_ratio,
+)
+from repro.experiments.reporting import ascii_table, format_series
+from repro.experiments.runner import (
+    AlgorithmRun,
+    build_instance,
+    run_algorithm,
+    run_suite,
+)
+from repro.experiments.persistence import load_runs, save_runs
+from repro.experiments.perturbation import (
+    PerturbationResult,
+    perturb_weights,
+    perturbation_study,
+)
+from repro.experiments.scaling import ScalePoint, scaling_study
+from repro.experiments.solution_report import (
+    CommunityOutcome,
+    render_report,
+    solution_report,
+)
+from repro.experiments.stats import (
+    AggregatedCell,
+    collect_samples,
+    repeat_suite,
+    win_rate,
+)
+from repro.experiments.sweeps import (
+    bt_candidate_sweep,
+    celf_speedup,
+    formation_comparison,
+    maf_arm_comparison,
+    pool_size_error_sweep,
+)
+from repro.experiments.tables import table1_datasets
+
+__all__ = [
+    "ExperimentConfig",
+    "ALGORITHMS",
+    "build_instance",
+    "run_algorithm",
+    "run_suite",
+    "AlgorithmRun",
+    "fig4_community_structure",
+    "fig5_benefit_regular",
+    "fig6_benefit_bounded",
+    "fig7_runtime",
+    "fig8_ubg_ratio",
+    "table1_datasets",
+    "ascii_table",
+    "format_series",
+    "save_runs",
+    "load_runs",
+    "celf_speedup",
+    "pool_size_error_sweep",
+    "maf_arm_comparison",
+    "bt_candidate_sweep",
+    "formation_comparison",
+    "scaling_study",
+    "ScalePoint",
+    "solution_report",
+    "render_report",
+    "CommunityOutcome",
+    "repeat_suite",
+    "collect_samples",
+    "win_rate",
+    "AggregatedCell",
+    "perturbation_study",
+    "perturb_weights",
+    "PerturbationResult",
+    "run_campaign",
+    "campaign_records",
+    "best_algorithm_per_cell",
+    "CampaignCell",
+    "fidelity_report",
+    "fidelity_expectations",
+    "FidelityRow",
+]

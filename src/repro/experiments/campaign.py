@@ -1,0 +1,117 @@
+"""Campaign runner: a grid of experiment configurations.
+
+Sweeps the cross product of datasets × threshold policies × formations
+(× anything else expressible as config overrides), runs a suite per
+cell and returns flat records ready for
+:mod:`repro.experiments.persistence`. This is the driver behind
+"run the whole evaluation overnight and archive it" workflows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import ExperimentError
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import AlgorithmRun, run_suite
+
+
+@dataclass(frozen=True)
+class CampaignCell:
+    """One grid cell's identity and results."""
+
+    dataset: str
+    threshold: str
+    formation: str
+    runs: Dict[str, List[AlgorithmRun]]
+
+
+def run_campaign(
+    base_config: ExperimentConfig,
+    algorithms: Sequence[str],
+    k_values: Sequence[int],
+    datasets: Sequence[str] = ("facebook",),
+    thresholds: Sequence[str] = ("fractional",),
+    formations: Sequence[str] = ("louvain",),
+    candidate_limit: Optional[int] = 30,
+    progress=None,
+) -> List[CampaignCell]:
+    """Run the full grid; returns one :class:`CampaignCell` per combo.
+
+    ``progress``, if given, is called with
+    ``(cell_index, total_cells, dataset, threshold, formation)`` before
+    each cell starts.
+    """
+    if not algorithms or not k_values:
+        raise ExperimentError("campaign needs algorithms and k values")
+    grid: List[Tuple[str, str, str]] = [
+        (dataset, threshold, formation)
+        for dataset in datasets
+        for threshold in thresholds
+        for formation in formations
+    ]
+    cells: List[CampaignCell] = []
+    for index, (dataset, threshold, formation) in enumerate(grid):
+        if progress is not None:
+            progress(index, len(grid), dataset, threshold, formation)
+        config = base_config.with_overrides(
+            dataset=dataset, threshold=threshold, formation=formation
+        )
+        runs = run_suite(
+            config, algorithms, list(k_values), candidate_limit=candidate_limit
+        )
+        cells.append(
+            CampaignCell(
+                dataset=dataset,
+                threshold=threshold,
+                formation=formation,
+                runs=runs,
+            )
+        )
+    return cells
+
+
+def campaign_records(cells: Iterable[CampaignCell]) -> List[dict]:
+    """Flatten campaign cells into JSON-ready records (one per
+    algorithm × k × cell)."""
+    records = []
+    for cell in cells:
+        for algorithm, runs in cell.runs.items():
+            for run in runs:
+                records.append(
+                    {
+                        "dataset": cell.dataset,
+                        "threshold": cell.threshold,
+                        "formation": cell.formation,
+                        "algorithm": algorithm,
+                        "k": run.k,
+                        "benefit": run.benefit,
+                        "runtime_seconds": run.runtime_seconds,
+                        "seeds": list(run.seeds),
+                    }
+                )
+    return records
+
+
+def best_algorithm_per_cell(
+    cells: Iterable[CampaignCell], k: int
+) -> Dict[Tuple[str, str, str], str]:
+    """For each grid cell, the algorithm with the highest benefit at
+    budget ``k`` (ties by name for determinism)."""
+    winners: Dict[Tuple[str, str, str], str] = {}
+    for cell in cells:
+        best_name = None
+        best_value = float("-inf")
+        for algorithm in sorted(cell.runs):
+            for run in cell.runs[algorithm]:
+                if run.k == k and (run.benefit, ) > (best_value, ):
+                    best_value = run.benefit
+                    best_name = algorithm
+        if best_name is None:
+            raise ExperimentError(
+                f"no runs at k={k} in cell "
+                f"({cell.dataset}, {cell.threshold}, {cell.formation})"
+            )
+        winners[(cell.dataset, cell.threshold, cell.formation)] = best_name
+    return winners

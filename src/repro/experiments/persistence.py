@@ -1,0 +1,83 @@
+"""JSON persistence for experiment results.
+
+``run_suite`` and the figure drivers return nested structures of
+:class:`~repro.experiments.runner.AlgorithmRun`; these helpers flatten
+them into a stable record format so sweeps can be archived and
+re-plotted without re-running.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Sequence, Union
+
+from repro.errors import ExperimentError
+from repro.experiments.runner import AlgorithmRun
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+_SCHEMA_VERSION = 1
+
+
+def runs_to_records(results: Dict[str, Sequence[AlgorithmRun]]) -> List[dict]:
+    """Flatten ``{algorithm: [AlgorithmRun]}`` into JSON records."""
+    records = []
+    for algorithm, runs in results.items():
+        for run in runs:
+            records.append(
+                {
+                    "algorithm": algorithm,
+                    "k": run.k,
+                    "seeds": list(run.seeds),
+                    "benefit": run.benefit,
+                    "runtime_seconds": run.runtime_seconds,
+                }
+            )
+    return records
+
+
+def records_to_runs(records: Sequence[dict]) -> Dict[str, List[AlgorithmRun]]:
+    """Rebuild ``{algorithm: [AlgorithmRun]}`` from flat records."""
+    results: Dict[str, List[AlgorithmRun]] = {}
+    for record in records:
+        try:
+            run = AlgorithmRun(
+                algorithm=record["algorithm"],
+                k=int(record["k"]),
+                seeds=tuple(record["seeds"]),
+                benefit=float(record["benefit"]),
+                runtime_seconds=float(record["runtime_seconds"]),
+            )
+        except (KeyError, TypeError) as exc:
+            raise ExperimentError(f"malformed run record {record!r}") from exc
+        results.setdefault(run.algorithm, []).append(run)
+    for runs in results.values():
+        runs.sort(key=lambda r: r.k)
+    return results
+
+
+def save_runs(
+    results: Dict[str, Sequence[AlgorithmRun]],
+    path: PathLike,
+    metadata: dict = None,
+) -> None:
+    """Archive suite results (plus free-form ``metadata``) to JSON."""
+    payload = {
+        "version": _SCHEMA_VERSION,
+        "metadata": metadata or {},
+        "records": runs_to_records(results),
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+
+
+def load_runs(path: PathLike) -> Dict[str, List[AlgorithmRun]]:
+    """Load results written by :func:`save_runs`."""
+    with open(path, "r", encoding="utf-8") as fh:
+        payload = json.load(fh)
+    if payload.get("version") != _SCHEMA_VERSION:
+        raise ExperimentError(
+            f"unsupported results schema version {payload.get('version')!r}"
+        )
+    return records_to_runs(payload["records"])

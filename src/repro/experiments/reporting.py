@@ -1,0 +1,79 @@
+"""Plain-text reporting for experiment results.
+
+The benchmark harness prints the same rows/series the paper's tables
+and figures report; these helpers render them as aligned ASCII.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Sequence
+
+
+def ascii_table(headers: Sequence[str], rows: Iterable[Sequence[Any]]) -> str:
+    """Render ``rows`` under ``headers`` as an aligned ASCII table."""
+    materialized: List[List[str]] = [
+        [_fmt(cell) for cell in row] for row in rows
+    ]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        for i, cell in enumerate(row):
+            if i < len(widths):
+                widths[i] = max(widths[i], len(cell))
+    divider = "-+-".join("-" * w for w in widths)
+    lines = [
+        " | ".join(h.ljust(w) for h, w in zip(headers, widths)),
+        divider,
+    ]
+    for row in materialized:
+        lines.append(
+            " | ".join(cell.ljust(w) for cell, w in zip(row, widths))
+        )
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    x_values: Sequence[Any],
+    series: Dict[str, Sequence[Any]],
+) -> str:
+    """Render figure-style series (one row per x value, one column per
+    algorithm) — the textual equivalent of the paper's plots."""
+    headers = [x_label] + list(series)
+    rows = []
+    for i, x in enumerate(x_values):
+        row = [x] + [values[i] if i < len(values) else "" for values in series.values()]
+        rows.append(row)
+    return ascii_table(headers, rows)
+
+
+def ascii_chart(
+    labels: Sequence[Any],
+    values: Sequence[float],
+    width: int = 40,
+    fill: str = "█",
+) -> str:
+    """Horizontal bar chart — a terminal-friendly stand-in for the
+    paper's bar figures (Fig. 4 panels are grouped bars).
+
+    Bars are scaled to the maximum value; each row shows the label, the
+    bar and the numeric value.
+    """
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have equal length")
+    if not labels:
+        return "(empty chart)"
+    if any(v < 0 for v in values):
+        raise ValueError("ascii_chart requires non-negative values")
+    peak = max(values) or 1.0
+    label_width = max(len(str(label)) for label in labels)
+    lines = []
+    for label, value in zip(labels, values):
+        bar = fill * max(1 if value > 0 else 0, round(width * value / peak))
+        lines.append(f"{str(label).ljust(label_width)} | {bar} {_fmt(value)}")
+    return "\n".join(lines)
+
+
+def _fmt(cell: Any) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.3f}"
+    return str(cell)

@@ -1,0 +1,79 @@
+"""Scaling study: cost vs network size.
+
+The paper discusses runtime only at fixed dataset sizes (Fig. 7); this
+study sweeps the stand-in scale and measures, per size: RIC sampling
+throughput, solver runtime and solution quality. It quantifies the
+practical claim behind the paper's design — RIC sampling cost tracks
+the explored neighbourhood, not the full graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.core.maf import MAF
+from repro.core.ubg import UBG
+from repro.diffusion.simulator import BenefitEvaluator
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import build_instance, make_pool
+from repro.rng import derive_seed
+from repro.utils.timing import Stopwatch
+
+
+@dataclass(frozen=True)
+class ScalePoint:
+    """Measurements at one network scale."""
+
+    scale: float
+    num_nodes: int
+    num_edges: int
+    num_communities: int
+    sampling_seconds: float
+    ubg_seconds: float
+    maf_seconds: float
+    ubg_benefit: float
+    maf_benefit: float
+
+
+def scaling_study(
+    base_config: ExperimentConfig,
+    scales: Sequence[float] = (0.1, 0.2, 0.4),
+    k: int = 10,
+) -> List[ScalePoint]:
+    """Run the size sweep; one :class:`ScalePoint` per scale."""
+    points: List[ScalePoint] = []
+    for scale in scales:
+        config = base_config.with_overrides(scale=scale)
+        graph, communities = build_instance(config)
+        sampling_timer = Stopwatch()
+        with sampling_timer:
+            pool = make_pool(graph, communities, config)
+        evaluator = BenefitEvaluator(
+            graph,
+            communities,
+            num_trials=config.eval_trials,
+            seed=derive_seed(config.seed, "scaling-eval", int(scale * 1000)),
+        )
+        ubg_timer = Stopwatch()
+        with ubg_timer:
+            ubg = UBG().solve(pool, k)
+        maf_timer = Stopwatch()
+        with maf_timer:
+            maf = MAF(seed=derive_seed(config.seed, "scaling-maf")).solve(
+                pool, k
+            )
+        points.append(
+            ScalePoint(
+                scale=scale,
+                num_nodes=graph.num_nodes,
+                num_edges=graph.num_edges,
+                num_communities=communities.r,
+                sampling_seconds=sampling_timer.elapsed,
+                ubg_seconds=ubg_timer.elapsed,
+                maf_seconds=maf_timer.elapsed,
+                ubg_benefit=evaluator(ubg.seeds),
+                maf_benefit=evaluator(maf.seeds),
+            )
+        )
+    return points

@@ -1,0 +1,208 @@
+"""Structural graph analysis: reachability, components, degree stats.
+
+These are substrate utilities used throughout the library: reverse
+reachability underlies RIC/RR sampling semantics, SCCs underpin the
+inapproximability-reduction tests (strongly-connected gadget clusters),
+and degree statistics feed the dataset registry (Table I stand-ins).
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro.graph.digraph import DiGraph
+
+
+def forward_reachable(graph: DiGraph, sources: Iterable[int]) -> Set[int]:
+    """All nodes reachable from ``sources`` along edge directions (BFS).
+
+    Includes the sources themselves. On a deterministic (live-edge) graph
+    this is exactly the set activated by seeding ``sources`` under IC.
+    """
+    visited: Set[int] = set()
+    queue = deque()
+    for s in sources:
+        if s not in visited:
+            visited.add(s)
+            queue.append(s)
+    while queue:
+        u = queue.popleft()
+        for v in graph.out_neighbors(u):
+            if v not in visited:
+                visited.add(v)
+                queue.append(v)
+    return visited
+
+
+def reverse_reachable(graph: DiGraph, targets: Iterable[int]) -> Set[int]:
+    """All nodes that can reach ``targets`` along edge directions.
+
+    Includes the targets themselves. This is the reachable-set notion
+    ``R_g(u)`` of the paper restricted to a deterministic graph.
+    """
+    visited: Set[int] = set()
+    queue = deque()
+    for t in targets:
+        if t not in visited:
+            visited.add(t)
+            queue.append(t)
+    while queue:
+        u = queue.popleft()
+        for v in graph.in_neighbors(u):
+            if v not in visited:
+                visited.add(v)
+                queue.append(v)
+    return visited
+
+
+def weakly_connected_components(graph: DiGraph) -> List[Set[int]]:
+    """Connected components ignoring edge direction, largest first."""
+    seen: Set[int] = set()
+    components: List[Set[int]] = []
+    for start in graph.nodes():
+        if start in seen:
+            continue
+        component: Set[int] = {start}
+        queue = deque([start])
+        seen.add(start)
+        while queue:
+            u = queue.popleft()
+            for v in graph.out_neighbors(u):
+                if v not in seen:
+                    seen.add(v)
+                    component.add(v)
+                    queue.append(v)
+            for v in graph.in_neighbors(u):
+                if v not in seen:
+                    seen.add(v)
+                    component.add(v)
+                    queue.append(v)
+        components.append(component)
+    components.sort(key=len, reverse=True)
+    return components
+
+
+def strongly_connected_components(graph: DiGraph) -> List[Set[int]]:
+    """Tarjan's SCC algorithm (iterative), components in reverse
+    topological order of the condensation.
+
+    Implemented iteratively so deep graphs do not hit Python's recursion
+    limit.
+    """
+    n = graph.num_nodes
+    index_of = [-1] * n
+    lowlink = [0] * n
+    on_stack = [False] * n
+    stack: List[int] = []
+    components: List[Set[int]] = []
+    counter = 0
+
+    for root in range(n):
+        if index_of[root] != -1:
+            continue
+        # Each work-stack frame: (node, iterator position over out-neighbours).
+        work: List[List[int]] = [[root, 0]]
+        while work:
+            frame = work[-1]
+            u, child_pos = frame
+            if child_pos == 0:
+                index_of[u] = counter
+                lowlink[u] = counter
+                counter += 1
+                stack.append(u)
+                on_stack[u] = True
+            advanced = False
+            out = graph.out_neighbors(u)
+            while frame[1] < len(out):
+                v = out[frame[1]]
+                frame[1] += 1
+                if index_of[v] == -1:
+                    work.append([v, 0])
+                    advanced = True
+                    break
+                if on_stack[v]:
+                    lowlink[u] = min(lowlink[u], index_of[v])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[u])
+            if lowlink[u] == index_of[u]:
+                component: Set[int] = set()
+                while True:
+                    w = stack.pop()
+                    on_stack[w] = False
+                    component.add(w)
+                    if w == u:
+                        break
+                components.append(component)
+    return components
+
+
+def degree_histogram(graph: DiGraph, direction: str = "out") -> Dict[int, int]:
+    """Histogram ``degree -> node count`` for ``direction`` in {out, in}."""
+    if direction not in ("out", "in"):
+        raise ValueError(f"direction must be 'out' or 'in', got {direction!r}")
+    degree = graph.out_degree if direction == "out" else graph.in_degree
+    return dict(Counter(degree(v) for v in graph.nodes()))
+
+
+def average_degree(graph: DiGraph) -> float:
+    """Mean out-degree ``m / n`` (0.0 for the empty graph)."""
+    if graph.num_nodes == 0:
+        return 0.0
+    return graph.num_edges / graph.num_nodes
+
+
+def clustering_coefficient(graph: DiGraph, node: Optional[int] = None) -> float:
+    """Local (for ``node``) or average local clustering coefficient.
+
+    Computed on the symmetrised graph: ``C(v) = 2·T(v) / (d(v)(d(v)-1))``
+    where ``T(v)`` counts edges among v's neighbours. Social graphs are
+    strongly clustered — a property the dataset stand-ins should show.
+    """
+
+    # Build symmetric neighbour sets once.
+    neighbor_sets: List[Set[int]] = [set() for _ in graph.nodes()]
+    for u, v, _ in graph.edges():
+        neighbor_sets[u].add(v)
+        neighbor_sets[v].add(u)
+
+    def local(v: int) -> float:
+        neighbors = neighbor_sets[v]
+        d = len(neighbors)
+        if d < 2:
+            return 0.0
+        links = 0
+        for a in neighbors:
+            links += len(neighbor_sets[a] & neighbors)
+        links //= 2  # every neighbour-pair edge counted from both ends
+        return 2.0 * links / (d * (d - 1))
+
+    if node is not None:
+        return local(node)
+    if graph.num_nodes == 0:
+        return 0.0
+    return sum(local(v) for v in graph.nodes()) / graph.num_nodes
+
+
+def reciprocity(graph: DiGraph) -> float:
+    """Fraction of directed edges with a reciprocal counterpart.
+
+    1.0 for symmetrised/undirected graphs; low for citation-style
+    graphs. 0.0 for an edgeless graph.
+    """
+    if graph.num_edges == 0:
+        return 0.0
+    mutual = sum(1 for u, v, _ in graph.edges() if graph.has_edge(v, u))
+    return mutual / graph.num_edges
+
+
+def max_degree_nodes(graph: DiGraph, k: int, direction: str = "out") -> List[int]:
+    """The ``k`` nodes with largest degree, ties broken by node id."""
+    if direction not in ("out", "in"):
+        raise ValueError(f"direction must be 'out' or 'in', got {direction!r}")
+    degree = graph.out_degree if direction == "out" else graph.in_degree
+    return sorted(graph.nodes(), key=lambda v: (-degree(v), v))[:k]

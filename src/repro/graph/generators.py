@@ -1,0 +1,383 @@
+"""Synthetic network generators.
+
+These are the substrate standing in for the SNAP datasets in Table I of
+the paper (no network access in this environment). Each generator
+produces structural edges with weight 1.0; influence probabilities are
+assigned afterwards via :mod:`repro.graph.weights` (the paper uses the
+weighted-cascade scheme). All generators are fully seeded.
+
+The stand-ins rely on two properties the paper's qualitative results
+depend on:
+
+- heavy-tailed degree distributions (Barabási–Albert, copying model,
+  forest fire), and
+- modular community structure (planted partition), which makes the
+  Louvain partition meaningful.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import GraphError
+from repro.graph.digraph import DiGraph
+from repro.rng import SeedLike, make_rng
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise GraphError(message)
+
+
+def erdos_renyi_graph(
+    num_nodes: int,
+    edge_probability: float,
+    directed: bool = True,
+    seed: SeedLike = None,
+) -> DiGraph:
+    """G(n, p): each ordered (or unordered) pair is an edge with prob. ``p``.
+
+    Uses geometric skipping so the run time is proportional to the number
+    of realised edges rather than ``n^2`` when ``p`` is small.
+    """
+    _require(num_nodes >= 0, f"num_nodes must be non-negative, got {num_nodes}")
+    _require(0.0 <= edge_probability <= 1.0, "edge_probability must be in [0, 1]")
+    rng = make_rng(seed)
+    graph = DiGraph(num_nodes)
+    if edge_probability == 0.0 or num_nodes < 2:
+        return graph
+
+    if edge_probability >= 1.0:
+        for u in range(num_nodes):
+            for v in range(num_nodes):
+                if u != v and (directed or u < v):
+                    graph.add_edge(u, v, 1.0)
+                    if not directed:
+                        graph.add_edge(v, u, 1.0)
+        return graph
+
+    log_q = math.log(1.0 - edge_probability)
+    if log_q == 0.0:
+        # p below float resolution of (1 - p): effectively zero.
+        return graph
+
+    def pair_stream_directed(index: int) -> Tuple[int, int]:
+        # Enumerate ordered pairs (u, v), u != v, by flat index.
+        u, r = divmod(index, num_nodes - 1)
+        v = r if r < u else r + 1
+        return u, v
+
+    def pair_stream_undirected(index: int) -> Tuple[int, int]:
+        # Enumerate unordered pairs u < v by flat index (triangular),
+        # with a correction step to absorb sqrt floating-point error.
+        u = int(
+            (2 * num_nodes - 1 - math.sqrt((2 * num_nodes - 1) ** 2 - 8 * index)) / 2
+        )
+
+        def row_start(row: int) -> int:
+            return row * (2 * num_nodes - row - 1) // 2
+
+        while u > 0 and index < row_start(u):
+            u -= 1
+        while index >= row_start(u + 1):
+            u += 1
+        offset = index - row_start(u)
+        return u, u + 1 + offset
+
+    total = num_nodes * (num_nodes - 1) if directed else num_nodes * (num_nodes - 1) // 2
+    decode = pair_stream_directed if directed else pair_stream_undirected
+    index = -1
+    while True:
+        # Geometric jump to the next realised pair.
+        gap = int(math.log(max(rng.random(), 1e-300)) / log_q) + 1
+        index += gap
+        if index >= total:
+            break
+        u, v = decode(index)
+        graph.add_edge(u, v, 1.0)
+        if not directed:
+            graph.add_edge(v, u, 1.0)
+    return graph
+
+
+def barabasi_albert_graph(
+    num_nodes: int,
+    edges_per_node: int,
+    directed: bool = False,
+    seed: SeedLike = None,
+) -> DiGraph:
+    """Preferential attachment: each new node attaches to ``m`` targets.
+
+    Target selection is proportional to degree via the standard
+    repeated-nodes urn. With ``directed=True`` the new node points *at*
+    its targets (citation-style), giving a heavy-tailed in-degree
+    distribution like Wiki-Vote / Epinions.
+    """
+    _require(edges_per_node >= 1, "edges_per_node must be >= 1")
+    _require(
+        num_nodes > edges_per_node,
+        f"num_nodes ({num_nodes}) must exceed edges_per_node ({edges_per_node})",
+    )
+    rng = make_rng(seed)
+    graph = DiGraph(num_nodes)
+    # Start from a star over the first m+1 nodes so every node has degree >= 1.
+    urn: List[int] = []
+    core = edges_per_node + 1
+    for v in range(1, core):
+        graph.add_edge(v, 0, 1.0)
+        if not directed:
+            graph.add_edge(0, v, 1.0)
+        urn.extend((v, 0))
+    for new in range(core, num_nodes):
+        targets = set()
+        while len(targets) < edges_per_node:
+            candidate = rng.choice(urn)
+            if candidate != new:
+                targets.add(candidate)
+        for t in targets:
+            graph.add_edge(new, t, 1.0)
+            if not directed:
+                graph.add_edge(t, new, 1.0)
+            urn.extend((new, t))
+    return graph
+
+
+def watts_strogatz_graph(
+    num_nodes: int,
+    neighbors: int,
+    rewire_probability: float,
+    seed: SeedLike = None,
+) -> DiGraph:
+    """Small-world ring lattice with random rewiring (undirected).
+
+    ``neighbors`` must be even: each node connects to ``neighbors/2``
+    successors on the ring, then each lattice edge is rewired with the
+    given probability.
+    """
+    _require(neighbors % 2 == 0, "neighbors must be even")
+    _require(num_nodes > neighbors, "num_nodes must exceed neighbors")
+    _require(0.0 <= rewire_probability <= 1.0, "rewire_probability in [0, 1]")
+    rng = make_rng(seed)
+    half = neighbors // 2
+    # Track undirected adjacency during construction to avoid duplicates.
+    adjacency: List[set] = [set() for _ in range(num_nodes)]
+    for u in range(num_nodes):
+        for j in range(1, half + 1):
+            v = (u + j) % num_nodes
+            adjacency[u].add(v)
+            adjacency[v].add(u)
+    for u in range(num_nodes):
+        for j in range(1, half + 1):
+            v = (u + j) % num_nodes
+            if v not in adjacency[u]:
+                continue  # already rewired away
+            if rng.random() < rewire_probability:
+                candidates = [
+                    w for w in range(num_nodes) if w != u and w not in adjacency[u]
+                ]
+                if not candidates:
+                    continue
+                new_v = rng.choice(candidates)
+                adjacency[u].discard(v)
+                adjacency[v].discard(u)
+                adjacency[u].add(new_v)
+                adjacency[new_v].add(u)
+    graph = DiGraph(num_nodes)
+    for u in range(num_nodes):
+        for v in adjacency[u]:
+            graph.add_edge(u, v, 1.0)
+    return graph
+
+
+def planted_partition_graph(
+    community_sizes: Sequence[int],
+    p_in: float,
+    p_out: float,
+    directed: bool = True,
+    seed: SeedLike = None,
+) -> Tuple[DiGraph, List[List[int]]]:
+    """Stochastic block model with planted communities.
+
+    Nodes are grouped into blocks of the given sizes; within-block pairs
+    connect with probability ``p_in`` and cross-block pairs with
+    ``p_out``. Returns ``(graph, blocks)`` where ``blocks`` lists the
+    member ids of each planted community — the ground truth that Louvain
+    should approximately recover.
+    """
+    _require(all(s >= 1 for s in community_sizes), "community sizes must be >= 1")
+    _require(0.0 <= p_out <= p_in <= 1.0, "need 0 <= p_out <= p_in <= 1")
+    rng = make_rng(seed)
+    blocks: List[List[int]] = []
+    next_id = 0
+    for size in community_sizes:
+        blocks.append(list(range(next_id, next_id + size)))
+        next_id += size
+    n = next_id
+    block_of = [0] * n
+    for b, members in enumerate(blocks):
+        for v in members:
+            block_of[v] = b
+    graph = DiGraph(n)
+    for u in range(n):
+        start = 0 if directed else u + 1
+        for v in range(start, n):
+            if u == v:
+                continue
+            p = p_in if block_of[u] == block_of[v] else p_out
+            if rng.random() < p:
+                graph.add_edge(u, v, 1.0)
+                if not directed:
+                    graph.add_edge(v, u, 1.0)
+    return graph, blocks
+
+
+def forest_fire_graph(
+    num_nodes: int,
+    forward_probability: float = 0.35,
+    backward_probability: float = 0.2,
+    seed: SeedLike = None,
+) -> DiGraph:
+    """Leskovec's forest-fire model (directed).
+
+    Each arriving node picks a random ambassador, links to it, then
+    recursively "burns" through the ambassador's out- and in-neighbours
+    with geometric fan-out — yielding heavy tails, densification and
+    small diameter, the fingerprints of the SNAP social graphs.
+    """
+    _require(num_nodes >= 1, "num_nodes must be >= 1")
+    _require(0.0 <= forward_probability < 1.0, "forward_probability in [0, 1)")
+    _require(0.0 <= backward_probability < 1.0, "backward_probability in [0, 1)")
+    rng = make_rng(seed)
+    graph = DiGraph(num_nodes)
+
+    def geometric(p: float) -> int:
+        # Number of successes before failure with success prob p.
+        if p <= 0.0:
+            return 0
+        count = 0
+        while rng.random() < p:
+            count += 1
+        return count
+
+    for new in range(1, num_nodes):
+        ambassador = rng.randrange(new)
+        burned = {new, ambassador}
+        graph.add_edge(new, ambassador, 1.0)
+        frontier = [ambassador]
+        while frontier:
+            current = frontier.pop()
+            forward = [
+                v for v in graph.out_neighbors(current) if v not in burned
+            ]
+            backward = [
+                v for v in graph.in_neighbors(current) if v not in burned
+            ]
+            rng.shuffle(forward)
+            rng.shuffle(backward)
+            picks = forward[: geometric(forward_probability)] + backward[
+                : geometric(backward_probability)
+            ]
+            for v in picks:
+                if v in burned:
+                    continue
+                burned.add(v)
+                graph.add_edge(new, v, 1.0)
+                frontier.append(v)
+    return graph
+
+
+def stochastic_kronecker_graph(
+    levels: int,
+    initiator: Sequence[Sequence[float]] = ((0.9, 0.5), (0.5, 0.2)),
+    edge_factor: float = 1.0,
+    seed: SeedLike = None,
+) -> DiGraph:
+    """Stochastic Kronecker graph (Leskovec et al.) — directed.
+
+    The generator SNAP itself fits to its social networks: a 2×2
+    initiator matrix Kronecker-powered ``levels`` times yields an
+    ``n = 2^levels`` node graph with heavy tails, a core-periphery
+    structure and small diameter. Uses the fast edge-sampling variant:
+    ``edge_factor · (Σ initiator)^levels`` candidate edges are placed by
+    descending the recursion, picking a quadrant per level with
+    probability proportional to the initiator entries.
+    """
+    _require(levels >= 1, "levels must be >= 1")
+    _require(
+        len(initiator) == 2 and all(len(row) == 2 for row in initiator),
+        "initiator must be a 2x2 matrix",
+    )
+    flat = [initiator[0][0], initiator[0][1], initiator[1][0], initiator[1][1]]
+    _require(all(0.0 <= p <= 1.0 for p in flat), "initiator entries in [0, 1]")
+    total = sum(flat)
+    _require(total > 0.0, "initiator must have positive mass")
+    _require(edge_factor > 0.0, "edge_factor must be positive")
+    rng = make_rng(seed)
+    n = 1 << levels
+    expected_edges = int(round(edge_factor * (total ** levels)))
+    cumulative = []
+    running = 0.0
+    for p in flat:
+        running += p / total
+        cumulative.append(running)
+    cumulative[-1] = 1.0
+    graph = DiGraph(n)
+    attempts = 0
+    placed = 0
+    max_attempts = 20 * max(expected_edges, 1)
+    while placed < expected_edges and attempts < max_attempts:
+        attempts += 1
+        u = v = 0
+        for _ in range(levels):
+            draw = rng.random()
+            quadrant = 0
+            while cumulative[quadrant] < draw:
+                quadrant += 1
+            u = (u << 1) | (quadrant >> 1)
+            v = (v << 1) | (quadrant & 1)
+        if u == v or graph.has_edge(u, v):
+            continue
+        graph.add_edge(u, v, 1.0)
+        placed += 1
+    return graph
+
+
+def copying_model_graph(
+    num_nodes: int,
+    out_degree: int,
+    copy_probability: float = 0.5,
+    seed: SeedLike = None,
+) -> DiGraph:
+    """Kleinberg's copying model (directed, heavy-tailed in-degrees).
+
+    Each new node makes ``out_degree`` links; each link either copies a
+    random link of a random prototype node (with ``copy_probability``) or
+    points at a uniformly random earlier node.
+    """
+    _require(out_degree >= 1, "out_degree must be >= 1")
+    _require(num_nodes > out_degree, "num_nodes must exceed out_degree")
+    _require(0.0 <= copy_probability <= 1.0, "copy_probability in [0, 1]")
+    rng = make_rng(seed)
+    graph = DiGraph(num_nodes)
+    core = out_degree + 1
+    for u in range(core):
+        for v in range(core):
+            if u != v:
+                graph.add_edge(u, v, 1.0)
+    for new in range(core, num_nodes):
+        prototype = rng.randrange(new)
+        prototype_links = graph.out_neighbors(prototype)
+        targets = set()
+        attempts = 0
+        while len(targets) < out_degree and attempts < 50 * out_degree:
+            attempts += 1
+            if prototype_links and rng.random() < copy_probability:
+                candidate = rng.choice(prototype_links)
+            else:
+                candidate = rng.randrange(new)
+            if candidate != new:
+                targets.add(candidate)
+        for t in targets:
+            graph.add_edge(new, t, 1.0)
+    return graph

@@ -1,0 +1,60 @@
+"""Edge-weight assignment schemes for influence probabilities.
+
+The paper's experiments use the *weighted cascade* scheme:
+``w(u, v) = 1 / d_in(v)`` (Section VI-A). The other two schemes are the
+standard alternatives from the IM literature, provided for ablations.
+All functions mutate the graph in place and return it for chaining.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.errors import GraphError
+from repro.graph.digraph import DiGraph
+from repro.rng import SeedLike, make_rng
+from repro.utils.validation import check_probability
+
+
+def assign_weighted_cascade(graph: DiGraph) -> DiGraph:
+    """Set ``w(u, v) = 1 / d_in(v)`` for every edge (paper's scheme).
+
+    Every node with at least one in-edge has its incoming probabilities
+    sum to exactly 1, so in expectation one in-neighbour activates it.
+    """
+    for v in graph.nodes():
+        in_deg = graph.in_degree(v)
+        if in_deg == 0:
+            continue
+        probability = 1.0 / in_deg
+        for u in list(graph.in_neighbors(v)):
+            graph.set_weight(u, v, probability)
+    return graph
+
+
+def assign_uniform_weights(graph: DiGraph, probability: float) -> DiGraph:
+    """Set every edge weight to the same ``probability``."""
+    check_probability(probability, "probability", GraphError)
+    for u, v, _ in list(graph.edges()):
+        graph.set_weight(u, v, probability)
+    return graph
+
+
+def assign_trivalency_weights(
+    graph: DiGraph,
+    choices: Sequence[float] = (0.1, 0.01, 0.001),
+    seed: SeedLike = None,
+) -> DiGraph:
+    """Assign each edge a weight drawn uniformly from ``choices``.
+
+    The classic TRIVALENCY scheme from the IM literature (e.g. Chen et
+    al., KDD'10): each edge independently gets one of three probabilities.
+    """
+    if not choices:
+        raise GraphError("trivalency requires at least one probability choice")
+    for p in choices:
+        check_probability(p, "choices entry", GraphError)
+    rng = make_rng(seed)
+    for u, v, _ in list(graph.edges()):
+        graph.set_weight(u, v, rng.choice(choices))
+    return graph

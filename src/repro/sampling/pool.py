@@ -1,0 +1,215 @@
+"""Sample pools with inverted indexes.
+
+MAXR solvers repeatedly ask "which (sample, member) pairs does node v
+cover?". The pools answer that in O(#pairs) via inverted indexes that
+are maintained incrementally, so IMCAF's exponential doubling reuses all
+previously generated samples.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
+
+from repro.errors import SamplingError
+from repro.sampling.ric import RICSample, RICSampler
+from repro.sampling.rr import RRSampler
+
+
+class RICSamplePool:
+    """A growing collection ``R`` of RIC samples plus inverted indexes.
+
+    Indexes maintained per added sample:
+
+    - ``coverage_of(v)`` — list of ``(sample_idx, member_idx)`` pairs
+      with ``v ∈ R_g(u)`` (drives marginal-gain computation),
+    - ``touch_counts`` — per-node number of *distinct* samples touched
+      (MAF's node-appearance frequency),
+    - ``community_counts`` — per-community source frequency in ``R``
+      (MAF's community frequency).
+    """
+
+    def __init__(self, sampler: RICSampler) -> None:
+        self.sampler = sampler
+        self.samples: List[RICSample] = []
+        self._coverage: Dict[int, List[Tuple[int, int]]] = {}
+        self._touch_counts: Dict[int, int] = {}
+        self._community_counts: Dict[int, int] = {}
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    @property
+    def total_benefit(self) -> float:
+        """``b`` of the underlying community structure."""
+        return self.sampler.communities.total_benefit
+
+    def add(self, sample: RICSample) -> None:
+        """Append one sample and update all indexes."""
+        index = len(self.samples)
+        self.samples.append(sample)
+        touched: Set[int] = set()
+        for member_idx, reach in enumerate(sample.reach_sets):
+            for node in reach:
+                self._coverage.setdefault(node, []).append((index, member_idx))
+                touched.add(node)
+        for node in touched:
+            self._touch_counts[node] = self._touch_counts.get(node, 0) + 1
+        self._community_counts[sample.community_index] = (
+            self._community_counts.get(sample.community_index, 0) + 1
+        )
+
+    def grow(self, count: int) -> None:
+        """Generate and add ``count`` fresh samples."""
+        if count < 0:
+            raise SamplingError(f"count must be non-negative, got {count}")
+        for _ in range(count):
+            self.add(self.sampler.sample())
+
+    def grow_to(self, target: int) -> None:
+        """Grow the pool until it holds at least ``target`` samples."""
+        self.grow(max(0, target - len(self.samples)))
+
+    def coverage_of(self, node: int) -> Sequence[Tuple[int, int]]:
+        """``(sample_idx, member_idx)`` pairs covered by ``node``."""
+        return self._coverage.get(node, ())
+
+    def touch_count(self, node: int) -> int:
+        """Number of distinct samples ``node`` touches (MAF frequency)."""
+        return self._touch_counts.get(node, 0)
+
+    def touching_nodes(self) -> List[int]:
+        """All nodes that touch at least one sample."""
+        return list(self._touch_counts)
+
+    def community_count(self, community_index: int) -> int:
+        """How many samples have ``community_index`` as their source."""
+        return self._community_counts.get(community_index, 0)
+
+    def community_counts(self) -> Dict[int, int]:
+        """Copy of the per-community source-frequency map."""
+        return dict(self._community_counts)
+
+    def samples_touched_by(self, node: int) -> List[int]:
+        """Sorted distinct sample indices touched by ``node`` (``G_R(u)``)."""
+        return sorted({sample_idx for sample_idx, _ in self.coverage_of(node)})
+
+    def stats(self) -> Dict[str, float]:
+        """Diagnostic summary of the pool.
+
+        Returns sample count, mean/max reach-set size, mean members per
+        sample, the number of distinct touching nodes, and the most
+        frequent source community's share — the numbers to look at when
+        sampling cost or solver behaviour surprises you.
+        """
+        if not self.samples:
+            return {
+                "num_samples": 0.0,
+                "mean_reach_size": 0.0,
+                "max_reach_size": 0.0,
+                "mean_members": 0.0,
+                "touching_nodes": 0.0,
+                "top_source_share": 0.0,
+            }
+        reach_sizes = [
+            len(reach)
+            for sample in self.samples
+            for reach in sample.reach_sets
+        ]
+        return {
+            "num_samples": float(len(self.samples)),
+            "mean_reach_size": sum(reach_sizes) / len(reach_sizes),
+            "max_reach_size": float(max(reach_sizes)),
+            "mean_members": sum(len(s.members) for s in self.samples)
+            / len(self.samples),
+            "touching_nodes": float(len(self._touch_counts)),
+            "top_source_share": max(self._community_counts.values())
+            / len(self.samples),
+        }
+
+    # ------------------------------------------------------------------
+    # Objective evaluation on the pool
+    # ------------------------------------------------------------------
+
+    def influenced_count(self, seeds: Iterable[int]) -> int:
+        """``Σ_g X_g(S)`` — samples influenced by ``seeds``."""
+        seed_set = set(seeds)
+        covered: Dict[int, Set[int]] = {}
+        for v in seed_set:
+            for sample_idx, member_idx in self.coverage_of(v):
+                covered.setdefault(sample_idx, set()).add(member_idx)
+        return sum(
+            1
+            for sample_idx, members in covered.items()
+            if len(members) >= self.samples[sample_idx].threshold
+        )
+
+    def estimate_benefit(self, seeds: Iterable[int]) -> float:
+        """``ĉ_R(S) = (b/|R|) Σ_g X_g(S)`` (eq. 3). 0.0 on an empty pool."""
+        if not self.samples:
+            return 0.0
+        return self.total_benefit * self.influenced_count(seeds) / len(self.samples)
+
+    def fractional_count(self, seeds: Iterable[int]) -> float:
+        """``Σ_g min(|I_g(S)|/h_g, 1)`` — the ν numerator (eq. 7)."""
+        seed_set = set(seeds)
+        covered: Dict[int, Set[int]] = {}
+        for v in seed_set:
+            for sample_idx, member_idx in self.coverage_of(v):
+                covered.setdefault(sample_idx, set()).add(member_idx)
+        return sum(
+            min(len(members) / self.samples[sample_idx].threshold, 1.0)
+            for sample_idx, members in covered.items()
+        )
+
+    def estimate_upper_bound(self, seeds: Iterable[int]) -> float:
+        """``ν_R(S) = (b/|R|) Σ_g min(|I_g(S)|/h_g, 1)`` (eq. 7)."""
+        if not self.samples:
+            return 0.0
+        return self.total_benefit * self.fractional_count(seeds) / len(self.samples)
+
+
+class RRSamplePool:
+    """A growing collection of classic RR sets with a node index."""
+
+    def __init__(self, sampler: RRSampler) -> None:
+        self.sampler = sampler
+        self.samples: List[FrozenSet[int]] = []
+        self._membership: Dict[int, List[int]] = {}
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    def add(self, rr_set: FrozenSet[int]) -> None:
+        """Append one RR set and index its members."""
+        index = len(self.samples)
+        self.samples.append(rr_set)
+        for node in rr_set:
+            self._membership.setdefault(node, []).append(index)
+
+    def grow(self, count: int) -> None:
+        """Generate and add ``count`` fresh RR sets."""
+        if count < 0:
+            raise SamplingError(f"count must be non-negative, got {count}")
+        for _ in range(count):
+            self.add(self.sampler.sample())
+
+    def sets_containing(self, node: int) -> Sequence[int]:
+        """Indices of RR sets containing ``node``."""
+        return self._membership.get(node, ())
+
+    def coverage(self, seeds: Iterable[int]) -> int:
+        """Number of RR sets hit by ``seeds``."""
+        hit: Set[int] = set()
+        for v in set(seeds):
+            hit.update(self.sets_containing(v))
+        return len(hit)
+
+    def estimate_spread(self, seeds: Iterable[int]) -> float:
+        """``σ̂(S) = n · coverage / |R|``; 0.0 on an empty pool."""
+        if not self.samples:
+            return 0.0
+        return (
+            self.sampler.graph.num_nodes
+            * self.coverage(seeds)
+            / len(self.samples)
+        )

@@ -1,0 +1,45 @@
+"""Wall-clock helpers for the experiment harness."""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+
+class Stopwatch:
+    """A re-usable stopwatch measuring wall-clock seconds.
+
+    Usage::
+
+        with Stopwatch() as sw:
+            run_solver()
+        print(sw.elapsed)
+    """
+
+    def __init__(self) -> None:
+        self._start: Optional[float] = None
+        self.elapsed: float = 0.0
+
+    def __enter__(self) -> "Stopwatch":
+        self.start()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+    def start(self) -> None:
+        """Begin (or restart) timing."""
+        self._start = time.perf_counter()
+
+    def stop(self) -> float:
+        """Stop timing and return the elapsed seconds since :meth:`start`."""
+        if self._start is None:
+            raise RuntimeError("Stopwatch.stop() called before start()")
+        self.elapsed = time.perf_counter() - self._start
+        self._start = None
+        return self.elapsed
+
+    @property
+    def running(self) -> bool:
+        """Whether the stopwatch is currently timing."""
+        return self._start is not None

@@ -1,0 +1,92 @@
+"""Shared fixtures: small deterministic graphs, communities and pools."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.communities.structure import Community, CommunityStructure
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import planted_partition_graph
+from repro.graph.weights import assign_weighted_cascade
+from repro.sampling.pool import RICSamplePool
+from repro.sampling.ric import RICSampler
+
+
+@pytest.fixture
+def triangle_graph() -> DiGraph:
+    """3-node directed cycle with probability 0.5 edges."""
+    g = DiGraph(3)
+    g.add_edge(0, 1, 0.5)
+    g.add_edge(1, 2, 0.5)
+    g.add_edge(2, 0, 0.5)
+    return g
+
+
+@pytest.fixture
+def line_graph() -> DiGraph:
+    """0 -> 1 -> 2 -> 3 path with deterministic (p=1) edges."""
+    g = DiGraph(4)
+    g.add_edge(0, 1, 1.0)
+    g.add_edge(1, 2, 1.0)
+    g.add_edge(2, 3, 1.0)
+    return g
+
+
+@pytest.fixture
+def fig2_graph() -> DiGraph:
+    """The paper's Fig. 2 non-submodularity gadget.
+
+    Nodes a=0, b=1 feed a 3-node community {2, 3, 4}; every edge has
+    weight 0.3 and the community threshold is 2. Structure chosen so
+    that c({a,b}) - c({a}) > c({b}) - c({}) (supermodular behaviour):
+    a reaches node 2; b reaches nodes 3 and 4.
+    """
+    g = DiGraph(5)
+    g.add_edge(0, 2, 0.3)
+    g.add_edge(1, 3, 0.3)
+    g.add_edge(1, 4, 0.3)
+    return g
+
+
+@pytest.fixture
+def fig2_communities() -> CommunityStructure:
+    """Community {2, 3, 4} with threshold 2, unit benefit."""
+    return CommunityStructure(
+        [Community(members=(2, 3, 4), threshold=2, benefit=1.0)]
+    )
+
+
+@pytest.fixture
+def two_communities() -> CommunityStructure:
+    """Two communities over 6 nodes with distinct thresholds/benefits."""
+    return CommunityStructure(
+        [
+            Community(members=(0, 1, 2), threshold=2, benefit=3.0),
+            Community(members=(3, 4, 5), threshold=1, benefit=1.0),
+        ]
+    )
+
+
+@pytest.fixture
+def planted_instance():
+    """A weighted planted-partition graph with its ground-truth blocks."""
+    graph, blocks = planted_partition_graph(
+        [5] * 6, p_in=0.6, p_out=0.03, directed=True, seed=17
+    )
+    assign_weighted_cascade(graph)
+    return graph, blocks
+
+
+@pytest.fixture
+def planted_pool(planted_instance):
+    """A 400-sample RIC pool over the planted instance (threshold 2)."""
+    graph, blocks = planted_instance
+    communities = CommunityStructure(
+        [
+            Community(members=tuple(block), threshold=2, benefit=float(len(block)))
+            for block in blocks
+        ]
+    )
+    pool = RICSamplePool(RICSampler(graph, communities, seed=99))
+    pool.grow(400)
+    return pool

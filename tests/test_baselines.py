@@ -1,0 +1,150 @@
+"""Baseline heuristic tests: HBC, KS, IM wrapper, degree, random."""
+
+import pytest
+
+from repro.baselines.degree import high_degree_seeds, random_seeds
+from repro.baselines.hbc import beneficial_connection, hbc_seeds
+from repro.baselines.im_baseline import im_seeds
+from repro.baselines.knapsack import knapsack_communities, ks_seeds
+from repro.communities.structure import Community, CommunityStructure
+from repro.errors import SolverError
+from repro.graph.builders import from_edge_list
+
+
+@pytest.fixture
+def hbc_instance():
+    """Node 0 feeds a high-benefit community; node 1 a low one."""
+    graph = from_edge_list(
+        6, [(0, 2, 0.5), (0, 3, 0.5), (1, 4, 0.5), (1, 5, 0.5)]
+    )
+    communities = CommunityStructure(
+        [
+            Community(members=(2, 3), threshold=1, benefit=10.0),
+            Community(members=(4, 5), threshold=2, benefit=1.0),
+        ]
+    )
+    return graph, communities
+
+
+def test_beneficial_connection_formula(hbc_instance):
+    graph, communities = hbc_instance
+    # B(0) = 0.5*10/1 + 0.5*10/1 = 10; B(1) = 0.5*1/2 * 2 = 0.5.
+    assert beneficial_connection(graph, communities, 0) == pytest.approx(10.0)
+    assert beneficial_connection(graph, communities, 1) == pytest.approx(0.5)
+    assert beneficial_connection(graph, communities, 2) == 0.0
+
+
+def test_beneficial_connection_ignores_uncovered_targets():
+    graph = from_edge_list(3, [(0, 1, 0.9), (0, 2, 0.9)])
+    communities = CommunityStructure(
+        [Community(members=(1,), threshold=1, benefit=4.0)]
+    )
+    # Edge to node 2 (uncovered) contributes nothing.
+    assert beneficial_connection(graph, communities, 0) == pytest.approx(
+        0.9 * 4.0
+    )
+
+
+def test_hbc_seeds_ranking(hbc_instance):
+    graph, communities = hbc_instance
+    assert hbc_seeds(graph, communities, 1) == [0]
+    assert hbc_seeds(graph, communities, 2) == [0, 1]
+
+
+def test_hbc_validates_budget(hbc_instance):
+    graph, communities = hbc_instance
+    with pytest.raises(SolverError):
+        hbc_seeds(graph, communities, 0)
+
+
+# ------------------------------------------------------------------- KS
+
+
+def test_knapsack_exact_selection():
+    communities = CommunityStructure(
+        [
+            Community(members=(0, 1, 2), threshold=3, benefit=5.0),
+            Community(members=(3, 4), threshold=2, benefit=4.0),
+            Community(members=(5,), threshold=1, benefit=3.0),
+        ]
+    )
+    # Budget 3: best is {2nd (cost 2, value 4), 3rd (cost 1, value 3)} = 7
+    # vs {1st} = 5.
+    chosen = knapsack_communities(communities, 3)
+    assert sorted(chosen) == [1, 2]
+
+
+def test_knapsack_budget_one():
+    communities = CommunityStructure(
+        [
+            Community(members=(0, 1), threshold=2, benefit=10.0),
+            Community(members=(2,), threshold=1, benefit=1.0),
+        ]
+    )
+    assert knapsack_communities(communities, 1) == [1]
+
+
+def test_ks_seeds_picks_threshold_members():
+    communities = CommunityStructure(
+        [
+            Community(members=(5, 3, 4), threshold=2, benefit=9.0),
+            Community(members=(7,), threshold=1, benefit=1.0),
+        ]
+    )
+    seeds = ks_seeds(communities, 3)
+    # Community 0 (cost 2) + community 1 (cost 1) both fit budget 3.
+    assert set(seeds) == {3, 4, 7}
+
+
+def test_ks_seeds_never_exceed_budget():
+    communities = CommunityStructure(
+        [
+            Community(members=tuple(range(i * 3, i * 3 + 3)), threshold=2, benefit=1.0)
+            for i in range(4)
+        ]
+    )
+    for k in range(1, 9):
+        assert len(ks_seeds(communities, k)) <= k
+
+
+def test_knapsack_validates():
+    communities = CommunityStructure(
+        [Community(members=(0,), threshold=1, benefit=1.0)]
+    )
+    with pytest.raises(SolverError):
+        knapsack_communities(communities, 0)
+
+
+# ------------------------------------------------------------ IM wrapper
+
+
+def test_im_seeds_delegates_to_ris():
+    graph = from_edge_list(5, [(0, i, 0.9) for i in range(1, 5)])
+    seeds = im_seeds(graph, 1, seed=3, max_samples=3000)
+    assert seeds == [0]
+
+
+# ---------------------------------------------------------- degree/random
+
+
+def test_high_degree_seeds():
+    graph = from_edge_list(4, [(0, 1, 1.0), (0, 2, 1.0), (1, 2, 1.0)])
+    assert high_degree_seeds(graph, 1) == [0]
+    assert high_degree_seeds(graph, 2) == [0, 1]
+
+
+def test_random_seeds_distinct_and_deterministic():
+    graph = from_edge_list(10, [])
+    a = random_seeds(graph, 4, seed=1)
+    b = random_seeds(graph, 4, seed=1)
+    assert a == b
+    assert len(set(a)) == 4
+    assert all(0 <= v < 10 for v in a)
+
+
+def test_degree_and_random_validate():
+    graph = from_edge_list(3, [])
+    with pytest.raises(SolverError):
+        high_degree_seeds(graph, 0)
+    with pytest.raises(SolverError):
+        random_seeds(graph, 4)

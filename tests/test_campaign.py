@@ -1,0 +1,91 @@
+"""Campaign grid-runner tests."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.campaign import (
+    CampaignCell,
+    best_algorithm_per_cell,
+    campaign_records,
+    run_campaign,
+)
+from repro.experiments.config import ExperimentConfig
+
+TINY = ExperimentConfig(
+    dataset="facebook", scale=0.08, pool_size=100, eval_trials=30, seed=5
+)
+
+
+@pytest.fixture(scope="module")
+def cells():
+    return run_campaign(
+        TINY,
+        algorithms=["MAF", "KS"],
+        k_values=[3, 5],
+        datasets=("facebook",),
+        thresholds=("fractional", "bounded"),
+        formations=("louvain",),
+    )
+
+
+def test_grid_size_and_identity(cells):
+    assert len(cells) == 2
+    assert {(c.dataset, c.threshold) for c in cells} == {
+        ("facebook", "fractional"),
+        ("facebook", "bounded"),
+    }
+    for cell in cells:
+        assert isinstance(cell, CampaignCell)
+        assert set(cell.runs) == {"MAF", "KS"}
+        assert [r.k for r in cell.runs["MAF"]] == [3, 5]
+
+
+def test_campaign_records_flat(cells):
+    records = campaign_records(cells)
+    # 2 cells x 2 algorithms x 2 k values.
+    assert len(records) == 8
+    for record in records:
+        assert set(record) == {
+            "dataset",
+            "threshold",
+            "formation",
+            "algorithm",
+            "k",
+            "benefit",
+            "runtime_seconds",
+            "seeds",
+        }
+        assert record["benefit"] >= 0
+
+
+def test_best_algorithm_per_cell(cells):
+    winners = best_algorithm_per_cell(cells, k=5)
+    assert set(winners) == {
+        ("facebook", "fractional", "louvain"),
+        ("facebook", "bounded", "louvain"),
+    }
+    assert all(name in ("MAF", "KS") for name in winners.values())
+
+
+def test_best_algorithm_missing_k_raises(cells):
+    with pytest.raises(ExperimentError):
+        best_algorithm_per_cell(cells, k=99)
+
+
+def test_progress_callback_invoked():
+    calls = []
+    run_campaign(
+        TINY,
+        algorithms=["KS"],
+        k_values=[2],
+        thresholds=("fractional",),
+        progress=lambda *args: calls.append(args),
+    )
+    assert calls == [(0, 1, "facebook", "fractional", "louvain")]
+
+
+def test_empty_arguments_rejected():
+    with pytest.raises(ExperimentError):
+        run_campaign(TINY, algorithms=[], k_values=[3])
+    with pytest.raises(ExperimentError):
+        run_campaign(TINY, algorithms=["KS"], k_values=[])

@@ -1,0 +1,104 @@
+"""Louvain community detection tests."""
+
+import pytest
+
+from repro.communities.louvain import louvain_communities
+from repro.communities.modularity import modularity, partition_from_blocks
+from repro.graph.builders import from_undirected_edge_list
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import planted_partition_graph
+
+
+def test_empty_graph():
+    assert louvain_communities(DiGraph(0)) == []
+
+
+def test_isolated_nodes_stay_singletons():
+    g = DiGraph(4)
+    blocks = louvain_communities(g, seed=1)
+    assert sorted(map(tuple, blocks)) == [(0,), (1,), (2,), (3,)]
+
+
+def test_result_is_a_partition():
+    graph, _ = planted_partition_graph(
+        [8] * 5, p_in=0.6, p_out=0.05, directed=False, seed=2
+    )
+    blocks = louvain_communities(graph, seed=2)
+    flat = [v for block in blocks for v in block]
+    assert sorted(flat) == list(range(graph.num_nodes))
+
+
+def test_two_cliques_separated():
+    edges = [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)]
+    g = from_undirected_edge_list(6, edges)
+    blocks = louvain_communities(g, seed=3)
+    as_sets = {frozenset(b) for b in blocks}
+    assert frozenset({0, 1, 2}) in as_sets
+    assert frozenset({3, 4, 5}) in as_sets
+
+
+def test_recovers_planted_partition():
+    graph, truth = planted_partition_graph(
+        [10] * 4, p_in=0.7, p_out=0.01, directed=False, seed=4
+    )
+    blocks = louvain_communities(graph, seed=4)
+    truth_sets = {frozenset(b) for b in truth}
+    found_sets = {frozenset(b) for b in blocks}
+    # At least 3 of the 4 planted blocks recovered exactly.
+    assert len(truth_sets & found_sets) >= 3
+
+
+def test_positive_modularity_on_modular_graph():
+    graph, _ = planted_partition_graph(
+        [10] * 4, p_in=0.6, p_out=0.02, directed=True, seed=5
+    )
+    blocks = louvain_communities(graph, seed=5)
+    assignment = partition_from_blocks(blocks, graph.num_nodes)
+    assert modularity(graph, assignment) > 0.4
+
+
+def test_deterministic_given_seed():
+    graph, _ = planted_partition_graph(
+        [6] * 5, p_in=0.5, p_out=0.05, directed=False, seed=6
+    )
+    a = louvain_communities(graph, seed=123)
+    b = louvain_communities(graph, seed=123)
+    assert a == b
+
+
+def test_blocks_sorted_by_first_member():
+    graph, _ = planted_partition_graph(
+        [5] * 4, p_in=0.8, p_out=0.02, directed=False, seed=7
+    )
+    blocks = louvain_communities(graph, seed=7)
+    firsts = [block[0] for block in blocks]
+    assert firsts == sorted(firsts)
+    for block in blocks:
+        assert block == sorted(block)
+
+
+def test_louvain_beats_random_partition_modularity():
+    from repro.communities.random_partition import random_partition
+
+    graph, _ = planted_partition_graph(
+        [8] * 5, p_in=0.6, p_out=0.05, directed=True, seed=8
+    )
+    louvain_blocks = louvain_communities(graph, seed=8)
+    random_blocks = random_partition(graph.num_nodes, len(louvain_blocks), seed=8)
+    q_louvain = modularity(
+        graph, partition_from_blocks(louvain_blocks, graph.num_nodes)
+    )
+    q_random = modularity(
+        graph, partition_from_blocks(random_blocks, graph.num_nodes)
+    )
+    assert q_louvain > q_random + 0.2
+
+
+def test_directed_input_handled():
+    # Purely directed cycle: symmetrisation makes it a ring.
+    g = DiGraph(6)
+    for i in range(6):
+        g.add_edge(i, (i + 1) % 6, 1.0)
+    blocks = louvain_communities(g, seed=9)
+    flat = sorted(v for b in blocks for v in b)
+    assert flat == list(range(6))

@@ -1,0 +1,67 @@
+"""Modularity computation tests."""
+
+import pytest
+
+from repro.communities.modularity import modularity, partition_from_blocks
+from repro.errors import CommunityError
+from repro.graph.builders import from_undirected_edge_list
+from repro.graph.digraph import DiGraph
+
+
+def two_cliques_graph():
+    """Two triangles joined by one bridge edge (undirected)."""
+    edges = [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)]
+    return from_undirected_edge_list(6, edges)
+
+
+def test_partition_from_blocks_full_assignment():
+    assignment = partition_from_blocks([[0, 1], [3]], 5)
+    assert assignment[0] == assignment[1] == 0
+    assert assignment[3] == 1
+    # Uncovered nodes get fresh singleton labels.
+    assert assignment[2] != assignment[4]
+    assert assignment[2] not in (0, 1) or assignment[4] not in (0, 1)
+
+
+def test_partition_from_blocks_rejects_overlap_and_range():
+    with pytest.raises(CommunityError):
+        partition_from_blocks([[0, 1], [1]], 3)
+    with pytest.raises(CommunityError):
+        partition_from_blocks([[5]], 3)
+
+
+def test_modularity_good_partition_positive():
+    g = two_cliques_graph()
+    good = partition_from_blocks([[0, 1, 2], [3, 4, 5]], 6)
+    assert modularity(g, good) > 0.3
+
+
+def test_modularity_good_beats_bad():
+    g = two_cliques_graph()
+    good = partition_from_blocks([[0, 1, 2], [3, 4, 5]], 6)
+    bad = partition_from_blocks([[0, 3], [1, 4], [2, 5]], 6)
+    assert modularity(g, good) > modularity(g, bad)
+
+
+def test_modularity_single_block_is_zero():
+    g = two_cliques_graph()
+    whole = [0] * 6
+    assert modularity(g, whole) == pytest.approx(0.0)
+
+
+def test_modularity_empty_graph_zero():
+    g = DiGraph(4)
+    assert modularity(g, [0, 0, 1, 1]) == 0.0
+
+
+def test_modularity_wrong_length_raises():
+    g = two_cliques_graph()
+    with pytest.raises(CommunityError):
+        modularity(g, [0, 0, 0])
+
+
+def test_modularity_bounds():
+    g = two_cliques_graph()
+    for assignment in ([0] * 6, [0, 0, 0, 1, 1, 1], list(range(6))):
+        q = modularity(g, assignment)
+        assert -1.0 <= q <= 1.0

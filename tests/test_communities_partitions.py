@@ -1,0 +1,141 @@
+"""Random partition and threshold/benefit policy tests."""
+
+import pytest
+
+from repro.communities.random_partition import random_partition
+from repro.communities.thresholds import (
+    apply_size_cap,
+    build_structure,
+    constant_thresholds,
+    fractional_thresholds,
+    population_benefits,
+    unit_benefits,
+)
+from repro.errors import CommunityError
+
+
+# ------------------------------------------------------ random partition
+
+
+def test_random_partition_is_partition():
+    blocks = random_partition(20, 5, seed=1)
+    flat = sorted(v for b in blocks for v in b)
+    assert flat == list(range(20))
+    assert len(blocks) == 5
+
+
+def test_random_partition_no_empty_blocks():
+    blocks = random_partition(10, 10, seed=2)
+    assert all(len(b) == 1 for b in blocks)
+    blocks = random_partition(50, 7, seed=3)
+    assert all(len(b) >= 1 for b in blocks)
+
+
+def test_random_partition_deterministic():
+    assert random_partition(30, 4, seed=9) == random_partition(30, 4, seed=9)
+
+
+def test_random_partition_validation():
+    with pytest.raises(CommunityError):
+        random_partition(5, 6)
+    with pytest.raises(CommunityError):
+        random_partition(5, 0)
+
+
+# ------------------------------------------------------------- size cap
+
+
+def test_apply_size_cap_splits_large_blocks():
+    blocks = [list(range(20))]
+    capped = apply_size_cap(blocks, 8)
+    assert len(capped) == 3  # ceil(20/8)
+    assert all(len(b) <= 8 for b in capped)
+    assert sorted(v for b in capped for v in b) == list(range(20))
+
+
+def test_apply_size_cap_balances_pieces():
+    capped = apply_size_cap([list(range(20))], 8)
+    sizes = sorted(len(b) for b in capped)
+    assert max(sizes) - min(sizes) <= 1
+
+
+def test_apply_size_cap_keeps_small_blocks():
+    blocks = [[3, 1, 2], [7, 8]]
+    capped = apply_size_cap(blocks, 8)
+    assert capped == [[1, 2, 3], [7, 8]]
+
+
+def test_apply_size_cap_invalid():
+    with pytest.raises(CommunityError):
+        apply_size_cap([[0]], 0)
+
+
+# ------------------------------------------------------------- policies
+
+
+def test_constant_thresholds_clipped_at_size():
+    policy = constant_thresholds(2)
+    assert policy([1, 2, 3]) == 2
+    assert policy([1]) == 1
+
+
+def test_constant_thresholds_invalid():
+    with pytest.raises(CommunityError):
+        constant_thresholds(0)
+
+
+def test_fractional_thresholds_paper_setting():
+    policy = fractional_thresholds(0.5)
+    assert policy(list(range(8))) == 4
+    assert policy([1]) == 1  # never below 1
+    assert policy(list(range(3))) == 2  # round(1.5) banker's -> 2
+
+
+def test_fractional_thresholds_full():
+    policy = fractional_thresholds(1.0)
+    assert policy(list(range(5))) == 5
+
+
+def test_fractional_thresholds_invalid():
+    for bad in (0.0, 1.5, -0.1):
+        with pytest.raises(CommunityError):
+            fractional_thresholds(bad)
+
+
+def test_population_and_unit_benefits():
+    assert population_benefits()([1, 2, 3]) == 3.0
+    assert population_benefits(2.0)([1, 2]) == 4.0
+    assert unit_benefits()([1, 2, 3]) == 1.0
+    with pytest.raises(CommunityError):
+        population_benefits(0.0)
+
+
+# ------------------------------------------------------- build_structure
+
+
+def test_build_structure_defaults_match_paper():
+    blocks = [list(range(16)), list(range(16, 20))]
+    structure = build_structure(blocks)
+    # 16 split into two 8s + one 4 -> r = 3
+    assert structure.r == 3
+    for community in structure:
+        assert community.threshold == max(1, round(0.5 * community.size))
+        assert community.benefit == float(community.size)
+
+
+def test_build_structure_disable_cap():
+    structure = build_structure([list(range(30))], size_cap=None)
+    assert structure.r == 1
+    assert structure[0].size == 30
+
+
+def test_build_structure_bounded_thresholds():
+    structure = build_structure(
+        [list(range(10))], size_cap=4, threshold_policy=constant_thresholds(2)
+    )
+    assert all(c.threshold == 2 for c in structure)
+
+
+def test_build_structure_skips_empty_blocks():
+    structure = build_structure([[0, 1], []], size_cap=None)
+    assert structure.r == 1

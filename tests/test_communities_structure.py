@@ -1,0 +1,103 @@
+"""Community / CommunityStructure data-model tests."""
+
+import pytest
+
+from repro.communities.structure import Community, CommunityStructure
+from repro.errors import CommunityError
+
+
+def test_community_basic_fields():
+    c = Community(members=(3, 1, 2), threshold=2, benefit=5.0)
+    assert c.size == 3
+    assert len(c) == 3
+    assert 1 in c and 9 not in c
+
+
+def test_community_rejects_empty_members():
+    with pytest.raises(CommunityError):
+        Community(members=(), threshold=1, benefit=1.0)
+
+
+def test_community_rejects_duplicate_members():
+    with pytest.raises(CommunityError):
+        Community(members=(1, 1, 2), threshold=1, benefit=1.0)
+
+
+@pytest.mark.parametrize("threshold", [0, -1, 4])
+def test_community_rejects_out_of_range_threshold(threshold):
+    with pytest.raises(CommunityError):
+        Community(members=(0, 1, 2), threshold=threshold, benefit=1.0)
+
+
+def test_community_rejects_negative_benefit():
+    with pytest.raises(CommunityError):
+        Community(members=(0,), threshold=1, benefit=-0.5)
+
+
+def test_structure_disjointness_enforced():
+    with pytest.raises(CommunityError, match="disjoint"):
+        CommunityStructure(
+            [
+                Community(members=(0, 1), threshold=1, benefit=1.0),
+                Community(members=(1, 2), threshold=1, benefit=1.0),
+            ]
+        )
+
+
+def test_structure_requires_at_least_one_community():
+    with pytest.raises(CommunityError):
+        CommunityStructure([])
+
+
+def test_structure_paper_notation(two_communities):
+    assert two_communities.r == 2
+    assert two_communities.total_benefit == 4.0
+    assert two_communities.min_benefit == 1.0
+    assert two_communities.max_threshold == 2
+    assert two_communities.covered_nodes == 6
+
+
+def test_benefit_distribution(two_communities):
+    rho = two_communities.benefit_distribution()
+    assert rho == pytest.approx([0.75, 0.25])
+    assert sum(rho) == pytest.approx(1.0)
+
+
+def test_benefit_distribution_all_zero_raises():
+    structure = CommunityStructure(
+        [Community(members=(0,), threshold=1, benefit=0.0)]
+    )
+    with pytest.raises(CommunityError):
+        structure.benefit_distribution()
+
+
+def test_community_of(two_communities):
+    assert two_communities.community_of(0) == 0
+    assert two_communities.community_of(4) == 1
+    assert two_communities.community_of(99) is None
+
+
+def test_container_protocol(two_communities):
+    assert len(two_communities) == 2
+    assert [c.threshold for c in two_communities] == [2, 1]
+    assert two_communities[1].members == (3, 4, 5)
+
+
+def test_thresholds_and_benefits_aligned(two_communities):
+    assert two_communities.thresholds() == [2, 1]
+    assert two_communities.benefits() == [3.0, 1.0]
+
+
+def test_max_threshold_at_most(two_communities):
+    assert two_communities.max_threshold_at_most(2)
+    assert not two_communities.max_threshold_at_most(1)
+
+
+def test_validate_against(two_communities):
+    two_communities.validate_against(6)
+    with pytest.raises(CommunityError):
+        two_communities.validate_against(5)
+
+
+def test_repr_mentions_r(two_communities):
+    assert "r=2" in repr(two_communities)

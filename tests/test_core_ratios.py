@@ -1,0 +1,79 @@
+"""Theoretical ratio helper tests."""
+
+import math
+
+import pytest
+
+from repro.core.ratios import (
+    ONE_MINUS_INV_E,
+    bt_ratio,
+    inapproximability_bound,
+    maf_ratio,
+    mb_ratio,
+    sandwich_ratio,
+)
+from repro.errors import SolverError
+
+
+def test_constant():
+    assert ONE_MINUS_INV_E == pytest.approx(1 - 1 / math.e)
+
+
+def test_maf_ratio_values():
+    assert maf_ratio(10, 2, 5) == pytest.approx(1.0)
+    assert maf_ratio(10, 3, 5) == pytest.approx(3 / 5)
+    assert maf_ratio(1, 2, 5) == 0.0  # floor(1/2) = 0
+    with pytest.raises(SolverError):
+        maf_ratio(0, 2, 5)
+
+
+def test_bt_ratio_values():
+    assert bt_ratio(5) == pytest.approx(ONE_MINUS_INV_E / 5)
+    assert bt_ratio(5, threshold_bound=3) == pytest.approx(ONE_MINUS_INV_E / 25)
+    assert bt_ratio(5, threshold_bound=1) == pytest.approx(ONE_MINUS_INV_E)
+    with pytest.raises(SolverError):
+        bt_ratio(0)
+
+
+def test_mb_ratio_geometric_mean():
+    k, r = 10, 20
+    expected = math.sqrt(ONE_MINUS_INV_E * (k // 2) / (k * r))
+    assert mb_ratio(k, r) == pytest.approx(expected)
+    # Geometric mean of the two arms' guarantees.
+    assert mb_ratio(k, r) == pytest.approx(
+        math.sqrt(bt_ratio(k) * maf_ratio(k, 2, r))
+    )
+
+
+def test_mb_ratio_k1_falls_back_to_bt():
+    assert mb_ratio(1, 10) == pytest.approx(bt_ratio(1, 2))
+
+
+def test_mb_ratio_scales_as_inverse_sqrt_r():
+    assert mb_ratio(100, 400) == pytest.approx(mb_ratio(100, 100) / 2, rel=1e-9)
+
+
+def test_sandwich_ratio():
+    assert sandwich_ratio(3.0, 4.0) == pytest.approx(0.75)
+    assert sandwich_ratio(0.0, 0.0) == 1.0
+    with pytest.raises(SolverError):
+        sandwich_ratio(-1.0, 2.0)
+
+
+def test_inapproximability_bound_grows_with_r():
+    small = inapproximability_bound(100)
+    large = inapproximability_bound(10_000)
+    assert 1.0 < small < large
+
+
+def test_inapproximability_bound_needs_big_r():
+    with pytest.raises(SolverError):
+        inapproximability_bound(8)
+
+
+def test_mb_matches_inapproximability_order():
+    """MB's 1/sqrt(r) guarantee is within the hardness envelope: the
+    hardness bound r^(1/2(loglog r)^c) is asymptotically SMALLER than
+    sqrt(r), i.e. MB cannot be beaten by more than subpolynomial slack."""
+    for r in (10**3, 10**6):
+        assert inapproximability_bound(r) <= math.sqrt(r)

@@ -1,0 +1,104 @@
+"""Theorem 1 reduction tests: e(S_D) = c(S_I) made executable."""
+
+import itertools
+
+import pytest
+
+from repro.core.reduction import DkSReduction, dks_to_imc, induced_edge_count
+from repro.errors import SolverError
+from repro.graph.analysis import strongly_connected_components
+
+TRIANGLE_PLUS = [(0, 1), (1, 2), (0, 2), (2, 3)]
+
+
+def test_structure_of_reduction():
+    red = dks_to_imc(TRIANGLE_PLUS)
+    # One 2-node community per edge.
+    assert red.communities.r == 4
+    assert all(c.threshold == 2 and c.benefit == 1.0 for c in red.communities)
+    # Node 2 has three copies (it appears in 3 edges).
+    assert len(red.copies_of[2]) == 3
+    assert len(red.copies_of[3]) == 1
+    # Copies map back correctly.
+    for original, copies in red.copies_of.items():
+        for c in copies:
+            assert red.corresponding[c] == original
+
+
+def test_copy_clusters_strongly_connected():
+    red = dks_to_imc(TRIANGLE_PLUS)
+    sccs = {frozenset(c) for c in strongly_connected_components(red.graph)}
+    for original, copies in red.copies_of.items():
+        if len(copies) > 1:
+            assert frozenset(copies) in sccs, original
+
+
+def test_induced_edge_count():
+    assert induced_edge_count(TRIANGLE_PLUS, [0, 1, 2]) == 3
+    assert induced_edge_count(TRIANGLE_PLUS, [0, 1]) == 1
+    assert induced_edge_count(TRIANGLE_PLUS, [3]) == 0
+    assert induced_edge_count(TRIANGLE_PLUS, []) == 0
+
+
+def test_lift_preserves_objective_exhaustively():
+    """Observation 1 of the proof: c(lift(S_D)) = e(S_D) for ALL S_D."""
+    red = dks_to_imc(TRIANGLE_PLUS)
+    originals = sorted(red.copies_of)
+    for k in range(1, len(originals) + 1):
+        for subset in itertools.combinations(originals, k):
+            lifted = red.lift(subset)
+            assert red.benefit(lifted) == induced_edge_count(
+                TRIANGLE_PLUS, subset
+            ), subset
+
+
+def test_project_bounds_objective_exhaustively():
+    """Observation 2: c(S_I) <= e(project(S_I)) for any copy seed set."""
+    red = dks_to_imc(TRIANGLE_PLUS)
+    all_copies = sorted(red.corresponding)
+    for k in (1, 2, 3):
+        for subset in itertools.combinations(all_copies, k):
+            projected = red.project(subset)
+            assert red.benefit(subset) <= induced_edge_count(
+                TRIANGLE_PLUS, projected
+            ), subset
+
+
+def test_lift_round_trip():
+    red = dks_to_imc(TRIANGLE_PLUS)
+    assert red.project(red.lift([0, 2])) == [0, 2]
+
+
+def test_lift_rejects_isolated_node():
+    red = dks_to_imc([(0, 1)])
+    with pytest.raises(SolverError):
+        red.lift([7])
+
+
+def test_validation():
+    with pytest.raises(SolverError):
+        dks_to_imc([(1, 1)])
+    with pytest.raises(SolverError):
+        dks_to_imc([(0, 1), (1, 0)])
+    with pytest.raises(SolverError):
+        dks_to_imc([])
+
+
+def test_imc_solver_recovers_dense_subgraph():
+    """Solving the reduced instance with BT finds the densest
+    2-subgraph of a graph with a planted dense pair."""
+    # Nodes 0-1 share an edge AND both connect to 2: picking {0,1,2}
+    # at k=3 induces 3 edges; any other triple induces fewer.
+    edges = [(0, 1), (0, 2), (1, 2), (3, 4), (0, 5)]
+    red = dks_to_imc(edges)
+    from repro.core.bt import BT
+    from repro.sampling.pool import RICSamplePool
+    from repro.sampling.ric import RICSampler
+
+    pool = RICSamplePool(RICSampler(red.graph, red.communities, seed=5))
+    pool.grow(400)
+    # k copies -> k original nodes (each copy activates its cluster).
+    result = BT().solve(pool, 3)
+    recovered = red.project(result.seeds)
+    assert induced_edge_count(edges, recovered) == 3
+    assert sorted(recovered) == [0, 1, 2]

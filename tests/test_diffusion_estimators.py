@@ -1,0 +1,87 @@
+"""Dagum stopping rule and CI estimator tests."""
+
+import math
+
+import pytest
+
+from repro.diffusion.estimators import (
+    DagumEstimate,
+    dagum_stopping_rule,
+    hoeffding_trials,
+    mean_with_confidence,
+    stopping_rule_threshold,
+)
+from repro.errors import EstimationError
+from repro.rng import make_rng
+
+
+def test_threshold_formula():
+    eps, delta = 0.25, 0.1
+    expected = 1 + 4 * (math.e - 2) * math.log(2 / delta) * (1 + eps) / eps**2
+    assert stopping_rule_threshold(eps, delta) == pytest.approx(expected)
+
+
+def test_threshold_validates():
+    with pytest.raises(EstimationError):
+        stopping_rule_threshold(0.0, 0.1)
+    with pytest.raises(EstimationError):
+        stopping_rule_threshold(0.2, 1.0)
+
+
+def test_stopping_rule_estimates_bernoulli_mean():
+    rng = make_rng(77)
+    p = 0.3
+    result = dagum_stopping_rule(lambda: 1.0 if rng.random() < p else 0.0, 0.1, 0.1)
+    assert result.converged
+    assert result.value == pytest.approx(p, rel=0.12)
+
+
+def test_stopping_rule_estimates_continuous_mean():
+    rng = make_rng(5)
+    result = dagum_stopping_rule(lambda: rng.random(), 0.1, 0.1)
+    assert result.converged
+    assert result.value == pytest.approx(0.5, rel=0.12)
+
+
+def test_stopping_rule_deterministic_one():
+    result = dagum_stopping_rule(lambda: 1.0, 0.2, 0.2)
+    assert result.converged
+    # T = ceil(threshold), estimate = threshold / T ~ 1.
+    assert result.value == pytest.approx(1.0, rel=0.05)
+
+
+def test_stopping_rule_respects_max_trials():
+    result = dagum_stopping_rule(lambda: 0.0, 0.2, 0.2, max_trials=50)
+    assert not result.converged
+    assert result.value is None
+    assert result.trials == 50
+
+
+def test_stopping_rule_rejects_out_of_range_outcomes():
+    with pytest.raises(EstimationError):
+        dagum_stopping_rule(lambda: 1.5, 0.2, 0.2)
+
+
+def test_mean_with_confidence():
+    mean, half = mean_with_confidence([2.0, 2.0, 2.0])
+    assert mean == 2.0 and half == 0.0
+    mean, half = mean_with_confidence([0.0, 1.0])
+    assert mean == 0.5 and half > 0
+    mean, half = mean_with_confidence([3.5])
+    assert mean == 3.5 and half == 0.0
+    with pytest.raises(EstimationError):
+        mean_with_confidence([])
+
+
+def test_hoeffding_trials_monotone():
+    assert hoeffding_trials(0.1, 0.1) > hoeffding_trials(0.2, 0.1)
+    assert hoeffding_trials(0.1, 0.05) > hoeffding_trials(0.1, 0.1)
+    with pytest.raises(EstimationError):
+        hoeffding_trials(0.0, 0.1)
+    with pytest.raises(EstimationError):
+        hoeffding_trials(0.1, 0.1, value_range=0.0)
+
+
+def test_dagum_estimate_dataclass_fields():
+    est = DagumEstimate(value=0.5, trials=10, successes=5.0, converged=True)
+    assert est.value == 0.5 and est.trials == 10 and est.converged

@@ -1,0 +1,67 @@
+"""Linear Threshold model tests."""
+
+import pytest
+
+from repro.diffusion.linear_threshold import simulate_lt
+from repro.errors import GraphError
+from repro.graph.builders import from_edge_list
+from repro.graph.weights import assign_weighted_cascade
+from repro.rng import make_rng
+
+
+def test_seeds_always_active():
+    g = from_edge_list(3, [(0, 1, 0.5)])
+    assert 0 in simulate_lt(g, [0], seed=1)
+
+
+def test_strict_rejects_overweight_node():
+    g = from_edge_list(3, [(0, 2, 0.8), (1, 2, 0.8)])
+    with pytest.raises(GraphError, match="sum to <= 1"):
+        simulate_lt(g, [0], seed=1)
+
+
+def test_non_strict_allows_overweight():
+    g = from_edge_list(3, [(0, 2, 0.8), (1, 2, 0.8)])
+    active = simulate_lt(g, [0, 1], seed=1, strict=False)
+    assert {0, 1} <= active
+
+
+def test_weighted_cascade_weights_are_lt_valid():
+    g = from_edge_list(4, [(0, 3), (1, 3), (2, 3), (3, 0)])
+    assign_weighted_cascade(g)
+    simulate_lt(g, [0], seed=2)  # no exception
+
+
+def test_full_incoming_mass_forces_activation():
+    # Node 1's only in-edge carries weight 1.0; thresholds are in [0,1),
+    # so an active 0 always activates 1.
+    g = from_edge_list(2, [(0, 1, 1.0)])
+    for s in range(30):
+        assert simulate_lt(g, [0], seed=s) == {0, 1}
+
+
+def test_activation_probability_equals_incoming_weight():
+    # With a single in-edge of weight w, Pr[activate] = Pr[theta <= w] = w.
+    g = from_edge_list(2, [(0, 1, 0.3)])
+    rng = make_rng(11)
+    trials = 20_000
+    hits = sum(1 in simulate_lt(g, [0], seed=rng) for _ in range(trials))
+    assert hits / trials == pytest.approx(0.3, abs=0.02)
+
+
+def test_lt_accumulates_across_neighbors():
+    # Two in-edges of 0.5 each: both sources active -> always activated.
+    g = from_edge_list(3, [(0, 2, 0.5), (1, 2, 0.5)])
+    for s in range(30):
+        active = simulate_lt(g, [0, 1], seed=s)
+        assert 2 in active
+
+
+def test_empty_seed_set():
+    g = from_edge_list(2, [(0, 1, 0.5)])
+    assert simulate_lt(g, [], seed=1) == set()
+
+
+def test_deterministic_with_seed():
+    g = from_edge_list(4, [(0, 1, 0.5), (1, 2, 0.5), (0, 3, 0.5)])
+    assert simulate_lt(g, [0], seed=5) == simulate_lt(g, [0], seed=5)

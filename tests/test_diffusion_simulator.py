@@ -1,0 +1,128 @@
+"""Benefit evaluation tests (Monte Carlo + exact ground truth)."""
+
+import pytest
+
+from repro.communities.structure import Community, CommunityStructure
+from repro.diffusion.simulator import (
+    BenefitEvaluator,
+    benefit_of_active_set,
+    community_benefit_exact,
+    community_benefit_monte_carlo,
+    influenced_communities,
+    spread_exact,
+    spread_monte_carlo,
+)
+from repro.errors import EstimationError
+from repro.graph.builders import from_edge_list
+
+
+def test_influenced_communities_threshold_semantics(two_communities):
+    # Community 0 needs 2 of {0,1,2}; community 1 needs 1 of {3,4,5}.
+    assert influenced_communities({0}, two_communities) == []
+    assert influenced_communities({0, 1}, two_communities) == [0]
+    assert influenced_communities({3}, two_communities) == [1]
+    assert influenced_communities({0, 1, 5}, two_communities) == [0, 1]
+    assert influenced_communities({9, 10}, two_communities) == []
+
+
+def test_benefit_of_active_set(two_communities):
+    assert benefit_of_active_set({0, 1}, two_communities) == 3.0
+    assert benefit_of_active_set({0, 1, 3}, two_communities) == 4.0
+    assert benefit_of_active_set(set(), two_communities) == 0.0
+
+
+def test_exact_benefit_on_fig2_instance(fig2_graph, fig2_communities):
+    """Hand-computable values of the paper's Fig. 2 style gadget.
+
+    Seeding {0}: only node 2 can be influenced (p=0.3) and the
+    community needs 2 members -> c = 0. Seeding {1}: nodes 3 and 4 each
+    with p=0.3 -> both with p=0.09 -> c = 0.09. Seeding {0,1}: at least
+    two of {2,3,4} active: P = 3*0.09*0.7 + 0.027 = 0.216... computed
+    exactly below.
+    """
+    assert community_benefit_exact(fig2_graph, fig2_communities, [0]) == pytest.approx(0.0)
+    assert community_benefit_exact(fig2_graph, fig2_communities, [1]) == pytest.approx(0.09)
+    p = 0.3
+    # Members activated: 2 (via a, prob .3), 3 and 4 (via b, prob .3 each).
+    # Need >= 2 of the three.
+    exact = (
+        p * p * (1 - p) * 3  # exactly two of three
+        + p**3  # all three
+    )
+    assert community_benefit_exact(
+        fig2_graph, fig2_communities, [0, 1]
+    ) == pytest.approx(exact)
+
+
+def test_fig2_supermodular_behaviour(fig2_graph, fig2_communities):
+    """The non-submodularity witness: marginal of b given a exceeds
+    marginal of b alone (Section II-B)."""
+    c_empty = 0.0
+    c_a = community_benefit_exact(fig2_graph, fig2_communities, [0])
+    c_b = community_benefit_exact(fig2_graph, fig2_communities, [1])
+    c_ab = community_benefit_exact(fig2_graph, fig2_communities, [0, 1])
+    assert c_ab - c_a > c_b - c_empty
+
+
+def test_monte_carlo_matches_exact(fig2_graph, fig2_communities):
+    exact = community_benefit_exact(fig2_graph, fig2_communities, [0, 1])
+    mc = community_benefit_monte_carlo(
+        fig2_graph, fig2_communities, [0, 1], num_trials=30_000, seed=5
+    )
+    assert mc == pytest.approx(exact, abs=0.01)
+
+
+def test_monte_carlo_lt_model_runs(fig2_graph, fig2_communities):
+    value = community_benefit_monte_carlo(
+        fig2_graph, fig2_communities, [0, 1], num_trials=500, model="lt", seed=6
+    )
+    assert 0.0 <= value <= fig2_communities.total_benefit
+
+
+def test_monte_carlo_validates_args(fig2_graph, fig2_communities):
+    with pytest.raises(EstimationError):
+        community_benefit_monte_carlo(
+            fig2_graph, fig2_communities, [0], num_trials=0
+        )
+    with pytest.raises(EstimationError):
+        community_benefit_monte_carlo(
+            fig2_graph, fig2_communities, [0], model="nope"
+        )
+
+
+def test_spread_exact_line():
+    g = from_edge_list(3, [(0, 1, 0.5), (1, 2, 0.5)])
+    # sigma({0}) = 1 + 0.5 + 0.25
+    assert spread_exact(g, [0]) == pytest.approx(1.75)
+
+
+def test_spread_monte_carlo_matches_exact():
+    g = from_edge_list(3, [(0, 1, 0.5), (1, 2, 0.5)])
+    mc = spread_monte_carlo(g, [0], num_trials=30_000, seed=3)
+    assert mc == pytest.approx(1.75, abs=0.02)
+
+
+def test_exact_guards_edge_count():
+    g = from_edge_list(30, [(i, i + 1, 0.5) for i in range(25)])
+    structure = CommunityStructure(
+        [Community(members=(0,), threshold=1, benefit=1.0)]
+    )
+    with pytest.raises(EstimationError):
+        community_benefit_exact(g, structure, [0], max_edges=10)
+    with pytest.raises(EstimationError):
+        spread_exact(g, [0], max_edges=10)
+
+
+def test_benefit_evaluator_reusable(fig2_graph, fig2_communities):
+    evaluate = BenefitEvaluator(
+        fig2_graph, fig2_communities, num_trials=5000, seed=9
+    )
+    exact = community_benefit_exact(fig2_graph, fig2_communities, [0, 1])
+    assert evaluate([0, 1]) == pytest.approx(exact, abs=0.03)
+    # Second call works (fresh child stream) and stays close.
+    assert evaluate([0, 1]) == pytest.approx(exact, abs=0.03)
+
+
+def test_benefit_evaluator_validates(fig2_graph, fig2_communities):
+    with pytest.raises(EstimationError):
+        BenefitEvaluator(fig2_graph, fig2_communities, model="bad")

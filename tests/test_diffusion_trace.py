@@ -1,0 +1,88 @@
+"""Cascade trace tests."""
+
+import pytest
+
+from repro.communities.structure import Community, CommunityStructure
+from repro.diffusion.trace import (
+    CascadeTrace,
+    average_tipping_profile,
+    trace_cascade,
+)
+from repro.graph.builders import from_edge_list
+
+
+@pytest.fixture
+def chain_instance():
+    """0 -> 1 -> 2 -> 3 deterministic; community {1,2} h=2, {3} h=1."""
+    graph = from_edge_list(4, [(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)])
+    communities = CommunityStructure(
+        [
+            Community(members=(1, 2), threshold=2, benefit=2.0),
+            Community(members=(3,), threshold=1, benefit=1.0),
+        ]
+    )
+    return graph, communities
+
+
+def test_trace_rounds_and_activation(chain_instance):
+    graph, communities = chain_instance
+    trace = trace_cascade(graph, communities, [0], seed=1)
+    assert trace.rounds[0] == frozenset({0})
+    assert trace.activation_round == {0: 0, 1: 1, 2: 2, 3: 3}
+    assert trace.num_rounds == 4
+    assert trace.total_activated == 4
+
+
+def test_trace_community_tipping_rounds(chain_instance):
+    graph, communities = chain_instance
+    trace = trace_cascade(graph, communities, [0], seed=1)
+    # Community 0 ({1,2}, h=2) tips when node 2 activates at round 2;
+    # community 1 ({3}) tips at round 3.
+    assert trace.community_tipping == {0: 2, 1: 3}
+    assert trace.influenced_benefit == 3.0
+    assert trace.tipped_communities() == [0, 1]
+
+
+def test_trace_seed_round_counts_toward_threshold(chain_instance):
+    graph, communities = chain_instance
+    trace = trace_cascade(graph, communities, [1, 2], seed=1)
+    assert trace.community_tipping[0] == 0  # tipped by the seeds
+
+
+def test_trace_untipped_community_absent():
+    graph = from_edge_list(3, [(0, 1, 0.0)])
+    communities = CommunityStructure(
+        [Community(members=(1, 2), threshold=2, benefit=5.0)]
+    )
+    trace = trace_cascade(graph, communities, [0], seed=2)
+    assert trace.community_tipping == {}
+    assert trace.influenced_benefit == 0.0
+
+
+def test_trace_is_frozen_dataclass(chain_instance):
+    graph, communities = chain_instance
+    trace = trace_cascade(graph, communities, [0], seed=3)
+    assert isinstance(trace, CascadeTrace)
+    with pytest.raises(AttributeError):
+        trace.influenced_benefit = 99.0
+
+
+def test_average_tipping_profile_probabilities():
+    # 0 -> 1 with p=0.5; community {1} needs 1 member.
+    graph = from_edge_list(2, [(0, 1, 0.5)])
+    communities = CommunityStructure(
+        [Community(members=(1,), threshold=1, benefit=1.0)]
+    )
+    profile = average_tipping_profile(
+        graph, communities, [0], num_trials=8000, seed=4
+    )
+    assert profile[0] == pytest.approx(0.5, abs=0.03)
+
+
+def test_average_tipping_profile_matches_benefit_decomposition(chain_instance):
+    graph, communities = chain_instance
+    profile = average_tipping_profile(
+        graph, communities, [0], num_trials=50, seed=5
+    )
+    # Deterministic chain: both communities always tip.
+    assert profile == {0: 1.0, 1: 1.0}

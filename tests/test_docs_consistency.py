@@ -1,0 +1,78 @@
+"""Documentation completeness checks.
+
+The docs promise a full paper↔code map and an API overview; these tests
+keep both honest: every source module appears in the paper mapping or
+the API reference, every benchmark module appears in DESIGN.md's
+ablation index or the README table, and the deliverable documents
+exist and are non-trivial.
+"""
+
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).parent.parent
+SRC = ROOT / "src" / "repro"
+
+
+def _doc_text(*names):
+    return "\n".join((ROOT / name).read_text() for name in names)
+
+
+def test_required_documents_exist_and_substantial():
+    for name, minimum_lines in (
+        ("README.md", 100),
+        ("DESIGN.md", 80),
+        ("EXPERIMENTS.md", 100),
+        ("CONTRIBUTING.md", 30),
+        ("docs/paper_mapping.md", 60),
+        ("docs/algorithms.md", 60),
+        ("docs/api.md", 60),
+    ):
+        path = ROOT / name
+        assert path.exists(), name
+        assert len(path.read_text().splitlines()) >= minimum_lines, name
+
+
+def test_every_module_documented_somewhere():
+    docs = _doc_text(
+        "docs/paper_mapping.md", "docs/api.md", "DESIGN.md", "README.md"
+    )
+    undocumented = []
+    for path in SRC.rglob("*.py"):
+        name = path.stem
+        if name.startswith("_"):
+            continue
+        # A module counts as documented if its module name or its
+        # subpackage is referenced in the docs.
+        subpackage = path.parent.name
+        if name not in docs and f"repro.{subpackage}" not in docs:
+            undocumented.append(str(path.relative_to(SRC)))
+    assert not undocumented, f"modules absent from docs: {undocumented}"
+
+
+def test_every_benchmark_indexed():
+    docs = _doc_text("DESIGN.md", "README.md")
+    missing = []
+    for path in (ROOT / "benchmarks").glob("bench_*.py"):
+        stem = path.stem
+        # Either named directly or covered by the bench_ablation_* and
+        # per-figure groups README/DESIGN enumerate.
+        if stem in docs or stem.replace("bench_", "") in docs:
+            continue
+        if stem.startswith("bench_ablation_") and "bench_ablation_*" in docs:
+            continue
+        missing.append(stem)
+    assert not missing, f"benchmarks absent from DESIGN/README: {missing}"
+
+
+def test_experiments_md_covers_every_paper_artifact():
+    text = (ROOT / "EXPERIMENTS.md").read_text()
+    for artifact in ("Table I", "Fig. 4", "Fig. 5", "Fig. 6", "Fig. 7", "Fig. 8"):
+        assert artifact in text, artifact
+
+
+def test_design_md_flags_paper_match():
+    text = (ROOT / "DESIGN.md").read_text()
+    assert "Paper check" in text
+    assert "IMC" in text

@@ -1,0 +1,28 @@
+"""Exception hierarchy contract."""
+
+import pytest
+
+from repro import errors
+
+
+def test_all_errors_derive_from_repro_error():
+    for name in (
+        "GraphError",
+        "CommunityError",
+        "SamplingError",
+        "SolverError",
+        "EstimationError",
+        "DatasetError",
+        "ExperimentError",
+    ):
+        cls = getattr(errors, name)
+        assert issubclass(cls, errors.ReproError)
+
+
+def test_repro_error_is_exception():
+    assert issubclass(errors.ReproError, Exception)
+
+
+def test_catching_base_catches_specific():
+    with pytest.raises(errors.ReproError):
+        raise errors.GraphError("boom")

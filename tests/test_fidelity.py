@@ -1,0 +1,78 @@
+"""Fidelity-report unit tests."""
+
+import pytest
+
+from repro.experiments.fidelity import (
+    FidelityRow,
+    fidelity_expectations,
+    fidelity_report,
+)
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return fidelity_report(scale=0.1, seed=7)
+
+
+def test_report_covers_all_datasets(rows):
+    assert [r.name for r in rows] == [
+        "facebook",
+        "wikivote",
+        "epinions",
+        "dblp",
+        "pokec",
+    ]
+
+
+def test_row_fields_sane(rows):
+    for row in rows:
+        assert row.nodes > 0 and row.edges > 0
+        assert row.avg_degree == pytest.approx(row.edges / row.nodes)
+        assert row.max_degree_ratio >= 1.0
+        assert 0.0 <= row.clustering <= 1.0
+        assert 0.0 <= row.reciprocity <= 1.0
+        assert row.effective_diameter >= 0.0
+
+
+def test_directedness_measured_correctly(rows):
+    by_name = {r.name: r for r in rows}
+    assert by_name["facebook"].reciprocity == 1.0
+    assert by_name["dblp"].reciprocity == 1.0
+    assert by_name["wikivote"].reciprocity < 0.5
+    assert by_name["pokec"].reciprocity < 0.5
+
+
+def test_expectations_structure(rows):
+    checks = fidelity_expectations(rows[0])
+    assert set(checks) == {
+        "directedness",
+        "degree_skew",
+        "small_world",
+        "density_band",
+    }
+    assert all(isinstance(v, bool) for v in checks.values())
+
+
+def test_expectations_flag_fabricated_drift():
+    bogus = FidelityRow(
+        name="bogus",
+        directed=True,
+        nodes=100,
+        edges=100,
+        avg_degree=1.0,
+        paper_avg_degree=100.0,  # way off the density band
+        max_degree_ratio=1.0,  # no skew
+        clustering=0.0,
+        reciprocity=1.0,  # "directed" but fully reciprocal
+        effective_diameter=50.0,  # not small world
+    )
+    checks = fidelity_expectations(bogus)
+    assert not checks["directedness"]
+    assert not checks["degree_skew"]
+    assert not checks["small_world"]
+    assert not checks["density_band"]
+
+
+def test_deterministic(rows):
+    again = fidelity_report(scale=0.1, seed=7)
+    assert [r.edges for r in again] == [r.edges for r in rows]

@@ -1,0 +1,94 @@
+"""Figure-driver unit tests (tiny configurations).
+
+The benchmarks exercise the drivers at realistic scale; these tests pin
+their contracts — result shapes, parameter plumbing, determinism — at
+smoke scale so driver regressions surface in the fast suite.
+"""
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.figures import (
+    BOUNDED_ALGORITHMS,
+    QUALITY_ALGORITHMS,
+    fig4_community_structure,
+    fig5_benefit_regular,
+    fig6_benefit_bounded,
+    fig7_runtime,
+    fig8_ubg_ratio,
+)
+
+TINY = ExperimentConfig(
+    dataset="facebook", scale=0.08, pool_size=100, eval_trials=30, seed=3
+)
+
+
+def test_algorithm_lineups_match_paper():
+    assert QUALITY_ALGORITHMS == ("UBG", "MAF", "HBC", "KS", "IM")
+    assert "MB" in BOUNDED_ALGORITHMS
+
+
+def test_fig4_shape():
+    results = fig4_community_structure(
+        formations=("louvain",),
+        size_caps=(4, 8),
+        k=4,
+        algorithms=("MAF", "KS"),
+        base_config=TINY,
+    )
+    assert set(results) == {("louvain", 4), ("louvain", 8)}
+    for cell in results.values():
+        assert set(cell) == {"MAF", "KS"}
+        assert all(v >= 0 for v in cell.values())
+
+
+def test_fig5_shape_and_k_alignment():
+    results = fig5_benefit_regular(
+        k_values=(3, 6), algorithms=("MAF", "KS"), base_config=TINY
+    )
+    assert set(results) == {"MAF", "KS"}
+    assert [r.k for r in results["MAF"]] == [3, 6]
+
+
+def test_fig6_uses_bounded_thresholds():
+    results = fig6_benefit_bounded(
+        k_values=(3,),
+        algorithms=("MAF", "MB"),
+        base_config=TINY,
+        candidate_limit=5,
+    )
+    assert set(results) == {"MAF", "MB"}
+    assert results["MB"][0].benefit >= 0
+
+
+def test_fig7_reports_runtime_not_shared_pool():
+    results = fig7_runtime(
+        dataset="facebook",
+        k_values=(3,),
+        algorithms=("MAF",),
+        base_config=TINY,
+        candidate_limit=5,
+    )
+    run = results["MAF"][0]
+    # Sampling charged to the algorithm: strictly positive runtime.
+    assert run.runtime_seconds > 0
+
+
+def test_fig8_structure_and_range():
+    results = fig8_ubg_ratio(
+        k_values=(2, 4), thresholds=("bounded",), base_config=TINY
+    )
+    assert set(results) == {"bounded"}
+    assert len(results["bounded"]) == 2
+    assert all(0.0 <= r <= 1.0 + 1e-9 for r in results["bounded"])
+
+
+def test_drivers_deterministic():
+    a = fig5_benefit_regular(
+        k_values=(3,), algorithms=("MAF",), base_config=TINY
+    )
+    b = fig5_benefit_regular(
+        k_values=(3,), algorithms=("MAF",), base_config=TINY
+    )
+    assert a["MAF"][0].seeds == b["MAF"][0].seeds
+    assert a["MAF"][0].benefit == b["MAF"][0].benefit

@@ -1,0 +1,96 @@
+"""Graph analysis tests: reachability, components, degrees."""
+
+import pytest
+
+from repro.graph.analysis import (
+    average_degree,
+    degree_histogram,
+    forward_reachable,
+    max_degree_nodes,
+    reverse_reachable,
+    strongly_connected_components,
+    weakly_connected_components,
+)
+from repro.graph.builders import from_edge_list
+from repro.graph.digraph import DiGraph
+
+
+@pytest.fixture
+def dag():
+    # 0 -> 1 -> 3, 0 -> 2 -> 3, 4 isolated
+    return from_edge_list(5, [(0, 1), (1, 3), (0, 2), (2, 3)])
+
+
+def test_forward_reachable(dag):
+    assert forward_reachable(dag, [0]) == {0, 1, 2, 3}
+    assert forward_reachable(dag, [1]) == {1, 3}
+    assert forward_reachable(dag, [4]) == {4}
+    assert forward_reachable(dag, [1, 2]) == {1, 2, 3}
+
+
+def test_forward_reachable_empty_sources(dag):
+    assert forward_reachable(dag, []) == set()
+
+
+def test_reverse_reachable(dag):
+    assert reverse_reachable(dag, [3]) == {0, 1, 2, 3}
+    assert reverse_reachable(dag, [0]) == {0}
+    assert reverse_reachable(dag, [1, 2]) == {0, 1, 2}
+
+
+def test_weakly_connected_components(dag):
+    comps = weakly_connected_components(dag)
+    assert len(comps) == 2
+    assert comps[0] == {0, 1, 2, 3}  # largest first
+    assert comps[1] == {4}
+
+
+def test_scc_cycle_plus_tail():
+    g = from_edge_list(5, [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4)])
+    comps = strongly_connected_components(g)
+    as_sets = sorted(comps, key=lambda s: (-len(s), min(s)))
+    assert as_sets[0] == {0, 1, 2}
+    assert {3} in comps and {4} in comps
+
+
+def test_scc_all_singletons_in_dag(dag):
+    comps = strongly_connected_components(dag)
+    assert sorted(len(c) for c in comps) == [1, 1, 1, 1, 1]
+
+
+def test_scc_reverse_topological_order():
+    g = from_edge_list(3, [(0, 1), (1, 2)])
+    comps = strongly_connected_components(g)
+    # Tarjan emits sinks first: 2 before 1 before 0.
+    order = [min(c) for c in comps]
+    assert order == [2, 1, 0]
+
+
+def test_scc_deep_path_no_recursion_error():
+    n = 5000
+    g = DiGraph(n)
+    for i in range(n - 1):
+        g.add_edge(i, i + 1, 1.0)
+    comps = strongly_connected_components(g)
+    assert len(comps) == n
+
+
+def test_degree_histogram(dag):
+    out_hist = degree_histogram(dag, "out")
+    assert out_hist == {2: 1, 1: 2, 0: 2}
+    in_hist = degree_histogram(dag, "in")
+    assert in_hist == {0: 2, 1: 2, 2: 1}
+    with pytest.raises(ValueError):
+        degree_histogram(dag, "sideways")
+
+
+def test_average_degree(dag):
+    assert average_degree(dag) == pytest.approx(4 / 5)
+    assert average_degree(DiGraph(0)) == 0.0
+
+
+def test_max_degree_nodes(dag):
+    assert max_degree_nodes(dag, 1, "out") == [0]
+    assert max_degree_nodes(dag, 2, "in") == [3, 1]  # ties by id
+    with pytest.raises(ValueError):
+        max_degree_nodes(dag, 1, "bad")

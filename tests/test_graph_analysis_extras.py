@@ -1,0 +1,62 @@
+"""Clustering coefficient and reciprocity tests."""
+
+import pytest
+
+from repro.graph.analysis import clustering_coefficient, reciprocity
+from repro.graph.builders import from_edge_list, from_undirected_edge_list
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import barabasi_albert_graph, erdos_renyi_graph
+
+
+def test_clustering_triangle_is_one():
+    g = from_undirected_edge_list(3, [(0, 1), (1, 2), (0, 2)])
+    assert clustering_coefficient(g) == pytest.approx(1.0)
+    assert clustering_coefficient(g, node=0) == pytest.approx(1.0)
+
+
+def test_clustering_star_is_zero():
+    g = from_undirected_edge_list(4, [(0, 1), (0, 2), (0, 3)])
+    assert clustering_coefficient(g, node=0) == 0.0
+    assert clustering_coefficient(g) == 0.0
+
+
+def test_clustering_path_middle_node():
+    g = from_undirected_edge_list(3, [(0, 1), (1, 2)])
+    assert clustering_coefficient(g, node=1) == 0.0
+
+
+def test_clustering_counts_direction_blind():
+    # Directed triangle: symmetrised it is a full triangle.
+    g = from_edge_list(3, [(0, 1, 1.0), (1, 2, 1.0), (2, 0, 1.0)])
+    assert clustering_coefficient(g) == pytest.approx(1.0)
+
+
+def test_clustering_empty_graph():
+    assert clustering_coefficient(DiGraph(0)) == 0.0
+    assert clustering_coefficient(DiGraph(3)) == 0.0
+
+
+def test_social_generators_cluster_more_than_er():
+    social = barabasi_albert_graph(150, 4, directed=False, seed=1)
+    random_graph = erdos_renyi_graph(150, 8 / 149, directed=False, seed=1)
+    assert clustering_coefficient(social) > clustering_coefficient(random_graph)
+
+
+def test_reciprocity_extremes():
+    assert reciprocity(DiGraph(2)) == 0.0
+    g = from_undirected_edge_list(3, [(0, 1), (1, 2)])
+    assert reciprocity(g) == 1.0
+    g2 = from_edge_list(3, [(0, 1, 1.0), (1, 2, 1.0)])
+    assert reciprocity(g2) == 0.0
+
+
+def test_reciprocity_partial():
+    g = from_edge_list(3, [(0, 1, 1.0), (1, 0, 1.0), (1, 2, 1.0)])
+    assert reciprocity(g) == pytest.approx(2 / 3)
+
+
+def test_undirected_stand_ins_fully_reciprocal():
+    from repro.datasets.registry import load_dataset
+
+    ds = load_dataset("facebook", scale=0.08, seed=2, weighted_cascade=False)
+    assert reciprocity(ds.graph) == 1.0

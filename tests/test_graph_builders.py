@@ -1,0 +1,79 @@
+"""Graph builder tests."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.builders import (
+    from_edge_list,
+    from_labeled_edges,
+    from_undirected_edge_list,
+    induced_subgraph,
+    symmetrized,
+)
+
+
+def test_from_edge_list_with_and_without_weights():
+    g = from_edge_list(3, [(0, 1), (1, 2, 0.25)], default_weight=0.5)
+    assert g.weight(0, 1) == 0.5
+    assert g.weight(1, 2) == 0.25
+    assert g.num_edges == 2
+
+
+def test_from_edge_list_rejects_malformed():
+    with pytest.raises(GraphError):
+        from_edge_list(3, [(0, 1, 0.5, 9)])
+
+
+def test_from_undirected_creates_both_directions():
+    g = from_undirected_edge_list(3, [(0, 1, 0.4)])
+    assert g.weight(0, 1) == 0.4
+    assert g.weight(1, 0) == 0.4
+    assert g.num_edges == 2
+
+
+def test_from_undirected_rejects_malformed():
+    with pytest.raises(GraphError):
+        from_undirected_edge_list(2, [(0,)])
+
+
+def test_from_labeled_edges_directed():
+    g, mapping = from_labeled_edges([("alice", "bob"), ("bob", "carol")])
+    assert set(mapping) == {"alice", "bob", "carol"}
+    assert g.num_nodes == 3
+    assert g.has_edge(mapping["alice"], mapping["bob"])
+    assert not g.has_edge(mapping["bob"], mapping["alice"])
+
+
+def test_from_labeled_edges_undirected_and_self_loop_skipped():
+    g, mapping = from_labeled_edges(
+        [("a", "b"), ("a", "a")], directed=False
+    )
+    assert g.has_edge(mapping["a"], mapping["b"])
+    assert g.has_edge(mapping["b"], mapping["a"])
+    assert g.num_edges == 2  # self loop dropped
+
+
+def test_induced_subgraph_keeps_internal_edges_only():
+    g = from_edge_list(4, [(0, 1, 0.5), (1, 2, 0.6), (2, 3, 0.7)])
+    sub, mapping = induced_subgraph(g, [1, 2])
+    assert sub.num_nodes == 2
+    assert sub.weight(mapping[1], mapping[2]) == 0.6
+    assert sub.num_edges == 1
+
+
+def test_induced_subgraph_deduplicates_nodes():
+    g = from_edge_list(3, [(0, 1, 0.5)])
+    sub, mapping = induced_subgraph(g, [0, 1, 0])
+    assert sub.num_nodes == 2
+    assert len(mapping) == 2
+
+
+def test_symmetrized_mirrors_and_max_weight_wins():
+    g = from_edge_list(2, [(0, 1, 0.3)])
+    sym = symmetrized(g)
+    assert sym.weight(0, 1) == 0.3
+    assert sym.weight(1, 0) == 0.3
+    g2 = from_edge_list(2, [(0, 1, 0.3), (1, 0, 0.8)])
+    sym2 = symmetrized(g2)
+    assert sym2.weight(0, 1) == 0.8
+    assert sym2.weight(1, 0) == 0.8

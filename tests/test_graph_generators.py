@@ -1,0 +1,223 @@
+"""Synthetic generator tests."""
+
+import math
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.analysis import weakly_connected_components
+from repro.graph.generators import (
+    barabasi_albert_graph,
+    copying_model_graph,
+    erdos_renyi_graph,
+    forest_fire_graph,
+    planted_partition_graph,
+    watts_strogatz_graph,
+)
+
+
+# ---------------------------------------------------------------- ER
+
+
+def test_er_zero_probability_has_no_edges():
+    g = erdos_renyi_graph(30, 0.0, seed=1)
+    assert g.num_edges == 0
+
+
+def test_er_full_probability_is_complete():
+    g = erdos_renyi_graph(6, 1.0, directed=True, seed=1)
+    assert g.num_edges == 6 * 5
+    g_und = erdos_renyi_graph(6, 1.0, directed=False, seed=1)
+    assert g_und.num_edges == 6 * 5  # both directions materialised
+
+
+def test_er_edge_count_near_expectation():
+    n, p = 200, 0.05
+    g = erdos_renyi_graph(n, p, directed=True, seed=7)
+    expected = p * n * (n - 1)
+    assert abs(g.num_edges - expected) < 4 * math.sqrt(expected)
+
+
+def test_er_undirected_is_symmetric():
+    g = erdos_renyi_graph(40, 0.1, directed=False, seed=5)
+    for u, v, _ in g.edges():
+        assert g.has_edge(v, u)
+
+
+def test_er_deterministic_with_seed():
+    a = erdos_renyi_graph(50, 0.1, seed=11)
+    b = erdos_renyi_graph(50, 0.1, seed=11)
+    assert a == b
+
+
+def test_er_invalid_args():
+    with pytest.raises(GraphError):
+        erdos_renyi_graph(-1, 0.5)
+    with pytest.raises(GraphError):
+        erdos_renyi_graph(10, 1.5)
+
+
+# ---------------------------------------------------------------- BA
+
+
+def test_ba_edge_count_undirected():
+    n, m = 60, 3
+    g = barabasi_albert_graph(n, m, directed=False, seed=2)
+    # Star core (m edges) + m per later node, times 2 directions.
+    expected_undirected = m + (n - m - 1) * m
+    assert g.num_edges == 2 * expected_undirected
+
+
+def test_ba_no_isolated_nodes():
+    g = barabasi_albert_graph(50, 2, directed=False, seed=4)
+    for v in g.nodes():
+        assert g.out_degree(v) + g.in_degree(v) > 0
+
+
+def test_ba_directed_variant_points_backward():
+    g = barabasi_albert_graph(30, 2, directed=True, seed=3)
+    for u, v, _ in g.edges():
+        assert u > v  # later nodes cite earlier ones
+
+
+def test_ba_heavy_tail_hub_exists():
+    g = barabasi_albert_graph(300, 2, directed=False, seed=6)
+    max_deg = max(g.out_degree(v) for v in g.nodes())
+    mean_deg = g.num_edges / g.num_nodes
+    assert max_deg > 4 * mean_deg  # hubs well above the mean
+
+
+def test_ba_invalid_args():
+    with pytest.raises(GraphError):
+        barabasi_albert_graph(5, 5)
+    with pytest.raises(GraphError):
+        barabasi_albert_graph(5, 0)
+
+
+# ---------------------------------------------------------------- WS
+
+
+def test_ws_zero_rewire_is_ring_lattice():
+    g = watts_strogatz_graph(10, 4, 0.0, seed=1)
+    for u in range(10):
+        for j in (1, 2):
+            assert g.has_edge(u, (u + j) % 10)
+            assert g.has_edge((u + j) % 10, u)
+
+
+def test_ws_edge_count_preserved_by_rewiring():
+    n, k = 30, 4
+    g = watts_strogatz_graph(n, k, 0.3, seed=2)
+    assert g.num_edges == n * k  # n*k/2 undirected edges, both directions
+
+
+def test_ws_requires_even_neighbors():
+    with pytest.raises(GraphError):
+        watts_strogatz_graph(10, 3, 0.1)
+
+
+def test_ws_symmetric():
+    g = watts_strogatz_graph(20, 4, 0.5, seed=9)
+    for u, v, _ in g.edges():
+        assert g.has_edge(v, u)
+
+
+# --------------------------------------------------- planted partition
+
+
+def test_planted_partition_blocks_and_sizes():
+    graph, blocks = planted_partition_graph(
+        [4, 5, 6], p_in=0.9, p_out=0.0, directed=True, seed=3
+    )
+    assert [len(b) for b in blocks] == [4, 5, 6]
+    assert graph.num_nodes == 15
+    flat = sorted(v for block in blocks for v in block)
+    assert flat == list(range(15))
+
+
+def test_planted_partition_no_cross_edges_when_pout_zero():
+    graph, blocks = planted_partition_graph(
+        [5, 5], p_in=0.8, p_out=0.0, directed=True, seed=4
+    )
+    block_of = {}
+    for i, block in enumerate(blocks):
+        for v in block:
+            block_of[v] = i
+    for u, v, _ in graph.edges():
+        assert block_of[u] == block_of[v]
+
+
+def test_planted_partition_undirected_symmetric():
+    graph, _ = planted_partition_graph(
+        [6, 6], p_in=0.7, p_out=0.1, directed=False, seed=5
+    )
+    for u, v, _ in graph.edges():
+        assert graph.has_edge(v, u)
+
+
+def test_planted_partition_validates_probabilities():
+    with pytest.raises(GraphError):
+        planted_partition_graph([3, 3], p_in=0.1, p_out=0.5)
+    with pytest.raises(GraphError):
+        planted_partition_graph([0, 3], p_in=0.5, p_out=0.1)
+
+
+# -------------------------------------------------------- forest fire
+
+
+def test_forest_fire_connected_single_component():
+    g = forest_fire_graph(80, seed=6)
+    components = weakly_connected_components(g)
+    assert len(components) == 1
+
+
+def test_forest_fire_every_non_root_links_backward():
+    g = forest_fire_graph(40, seed=8)
+    for v in range(1, 40):
+        assert g.out_degree(v) >= 1
+
+
+def test_forest_fire_densifies_with_forward_probability():
+    sparse = forest_fire_graph(100, forward_probability=0.1, seed=10)
+    dense = forest_fire_graph(100, forward_probability=0.45, seed=10)
+    assert dense.num_edges > sparse.num_edges
+
+
+def test_forest_fire_invalid_args():
+    with pytest.raises(GraphError):
+        forest_fire_graph(0)
+    with pytest.raises(GraphError):
+        forest_fire_graph(10, forward_probability=1.0)
+
+
+# ------------------------------------------------------ copying model
+
+
+def test_copying_model_out_degree():
+    g = copying_model_graph(50, out_degree=3, seed=7)
+    for v in range(4, 50):
+        assert g.out_degree(v) == 3
+
+
+def test_copying_model_heavy_in_degree_tail():
+    g = copying_model_graph(300, out_degree=3, copy_probability=0.8, seed=12)
+    max_in = max(g.in_degree(v) for v in g.nodes())
+    assert max_in > 3 * 3  # some node far above the average in-degree
+
+
+def test_copying_model_invalid_args():
+    with pytest.raises(GraphError):
+        copying_model_graph(3, out_degree=3)
+    with pytest.raises(GraphError):
+        copying_model_graph(10, out_degree=0)
+
+
+def test_all_generators_deterministic():
+    pairs = [
+        (barabasi_albert_graph(40, 2, seed=1), barabasi_albert_graph(40, 2, seed=1)),
+        (watts_strogatz_graph(20, 4, 0.2, seed=1), watts_strogatz_graph(20, 4, 0.2, seed=1)),
+        (forest_fire_graph(30, seed=1), forest_fire_graph(30, seed=1)),
+        (copying_model_graph(30, 2, seed=1), copying_model_graph(30, 2, seed=1)),
+    ]
+    for a, b in pairs:
+        assert a == b

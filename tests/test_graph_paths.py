@@ -1,0 +1,87 @@
+"""Hop distance / effective diameter tests."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.builders import from_edge_list, from_undirected_edge_list
+from repro.graph.digraph import DiGraph
+from repro.graph.paths import (
+    average_shortest_path_length,
+    bfs_distances,
+    effective_diameter,
+)
+
+
+@pytest.fixture
+def path_graph():
+    return from_edge_list(4, [(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)])
+
+
+def test_bfs_distances_directed(path_graph):
+    assert bfs_distances(path_graph, 0) == {0: 0, 1: 1, 2: 2, 3: 3}
+    assert bfs_distances(path_graph, 3) == {3: 0}
+
+
+def test_bfs_distances_undirected_view(path_graph):
+    assert bfs_distances(path_graph, 3, directed=False) == {
+        3: 0,
+        2: 1,
+        1: 2,
+        0: 3,
+    }
+
+
+def test_bfs_distances_validates_source(path_graph):
+    with pytest.raises(GraphError):
+        bfs_distances(path_graph, 9)
+
+
+def test_effective_diameter_path(path_graph):
+    # All sources used (n <= num_sources); distances 1,2,3,1,2,1 (dir).
+    diameter = effective_diameter(
+        path_graph, percentile=1.0, directed=True, seed=1
+    )
+    assert diameter == 3.0
+
+
+def test_effective_diameter_percentile_interpolates(path_graph):
+    d90 = effective_diameter(path_graph, percentile=0.9, directed=True, seed=1)
+    d100 = effective_diameter(path_graph, percentile=1.0, directed=True, seed=1)
+    assert d90 <= d100
+
+
+def test_effective_diameter_empty_and_edgeless():
+    assert effective_diameter(DiGraph(0), seed=1) == 0.0
+    assert effective_diameter(DiGraph(5), seed=1) == 0.0
+
+
+def test_effective_diameter_validates():
+    g = DiGraph(3)
+    with pytest.raises(GraphError):
+        effective_diameter(g, percentile=0.0)
+    with pytest.raises(GraphError):
+        effective_diameter(g, num_sources=0)
+
+
+def test_small_world_social_generator():
+    from repro.graph.generators import barabasi_albert_graph
+
+    g = barabasi_albert_graph(300, 3, directed=False, seed=2)
+    diameter = effective_diameter(g, seed=3)
+    assert 1.0 <= diameter <= 6.0  # small world
+
+
+def test_average_shortest_path_length(path_graph):
+    # Undirected path 0-1-2-3: distances sum 2*(1+2+3+1+2+1)=20, pairs 12.
+    value = average_shortest_path_length(path_graph, directed=False)
+    assert value == pytest.approx(20 / 12)
+
+
+def test_average_shortest_path_guard():
+    g = DiGraph(501)
+    with pytest.raises(GraphError):
+        average_shortest_path_length(g)
+
+
+def test_average_shortest_path_edgeless_zero():
+    assert average_shortest_path_length(DiGraph(4)) == 0.0

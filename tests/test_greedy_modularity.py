@@ -1,0 +1,90 @@
+"""CNM greedy modularity detector tests."""
+
+import pytest
+
+from repro.communities.greedy_modularity import greedy_modularity_communities
+from repro.communities.modularity import modularity, partition_from_blocks
+from repro.graph.builders import from_undirected_edge_list
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import planted_partition_graph
+
+
+def test_empty_graph():
+    assert greedy_modularity_communities(DiGraph(0)) == []
+
+
+def test_edgeless_graph_all_singletons():
+    blocks = greedy_modularity_communities(DiGraph(4))
+    assert sorted(map(tuple, blocks)) == [(0,), (1,), (2,), (3,)]
+
+
+def test_result_is_partition():
+    graph, _ = planted_partition_graph(
+        [6] * 4, p_in=0.7, p_out=0.05, directed=False, seed=1
+    )
+    blocks = greedy_modularity_communities(graph)
+    flat = sorted(v for b in blocks for v in b)
+    assert flat == list(range(graph.num_nodes))
+
+
+def test_two_cliques_separated():
+    edges = [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)]
+    g = from_undirected_edge_list(6, edges)
+    blocks = greedy_modularity_communities(g)
+    as_sets = {frozenset(b) for b in blocks}
+    assert frozenset({0, 1, 2}) in as_sets
+    assert frozenset({3, 4, 5}) in as_sets
+
+
+def test_positive_modularity_on_modular_graph():
+    graph, _ = planted_partition_graph(
+        [8] * 4, p_in=0.7, p_out=0.02, directed=False, seed=2
+    )
+    blocks = greedy_modularity_communities(graph)
+    q = modularity(graph, partition_from_blocks(blocks, graph.num_nodes))
+    assert q > 0.4
+
+
+def test_fully_deterministic():
+    graph, _ = planted_partition_graph(
+        [6] * 4, p_in=0.6, p_out=0.05, directed=False, seed=3
+    )
+    assert greedy_modularity_communities(graph) == greedy_modularity_communities(
+        graph
+    )
+
+
+def test_recovers_planted_blocks():
+    graph, truth = planted_partition_graph(
+        [10] * 3, p_in=0.8, p_out=0.01, directed=False, seed=4
+    )
+    blocks = greedy_modularity_communities(graph)
+    truth_sets = {frozenset(b) for b in truth}
+    found_sets = {frozenset(b) for b in blocks}
+    assert len(truth_sets & found_sets) >= 2
+
+
+def test_comparable_to_louvain_modularity():
+    from repro.communities.louvain import louvain_communities
+
+    graph, _ = planted_partition_graph(
+        [8] * 4, p_in=0.6, p_out=0.04, directed=False, seed=5
+    )
+    cnm = greedy_modularity_communities(graph)
+    louvain = louvain_communities(graph, seed=5)
+    q_cnm = modularity(graph, partition_from_blocks(cnm, graph.num_nodes))
+    q_louvain = modularity(
+        graph, partition_from_blocks(louvain, graph.num_nodes)
+    )
+    assert q_cnm >= q_louvain - 0.1  # same ballpark
+
+
+def test_directed_edges_symmetrised():
+    g = DiGraph(4)
+    g.add_edge(0, 1, 1.0)
+    g.add_edge(1, 0, 1.0)  # antiparallel pair counts once
+    g.add_edge(2, 3, 1.0)
+    blocks = greedy_modularity_communities(g)
+    as_sets = {frozenset(b) for b in blocks}
+    assert frozenset({0, 1}) in as_sets
+    assert frozenset({2, 3}) in as_sets

@@ -1,0 +1,74 @@
+"""IMM solver tests."""
+
+import pytest
+
+from repro.diffusion.simulator import spread_exact, spread_monte_carlo
+from repro.errors import SolverError
+from repro.graph.builders import from_edge_list
+from repro.graph.generators import barabasi_albert_graph
+from repro.graph.weights import assign_weighted_cascade
+from repro.im.imm import IMMResult, imm
+from repro.im.ris_im import ris_im
+
+
+@pytest.fixture
+def star_graph():
+    return from_edge_list(7, [(0, i, 0.9) for i in range(1, 6)])
+
+
+def test_imm_picks_hub(star_graph):
+    result = imm(star_graph, 1, seed=1, max_samples=20_000)
+    assert result.seeds == (0,)
+    exact = spread_exact(star_graph, [0], max_edges=10)
+    assert result.spread_estimate == pytest.approx(exact, rel=0.25)
+
+
+def test_imm_result_fields(star_graph):
+    result = imm(star_graph, 2, seed=2, max_samples=20_000)
+    assert isinstance(result, IMMResult)
+    assert len(result.seeds) == 2
+    assert result.num_samples > 0
+    assert 1.0 <= result.lower_bound <= star_graph.num_nodes
+
+
+def test_imm_lower_bound_below_achieved_spread(star_graph):
+    result = imm(star_graph, 1, seed=3, max_samples=20_000)
+    actual = spread_monte_carlo(star_graph, result.seeds, num_trials=3000, seed=4)
+    assert result.lower_bound <= actual * 1.3
+
+
+def test_imm_matches_ris_quality():
+    graph = barabasi_albert_graph(100, 2, directed=False, seed=5)
+    assign_weighted_cascade(graph)
+    imm_result = imm(graph, 5, seed=6, max_samples=30_000)
+    ris_seeds, _ = ris_im(graph, 5, seed=6, max_samples=30_000)
+    imm_spread = spread_monte_carlo(graph, imm_result.seeds, num_trials=600, seed=7)
+    ris_spread = spread_monte_carlo(graph, ris_seeds, num_trials=600, seed=7)
+    assert imm_spread >= 0.9 * ris_spread
+
+
+def test_imm_respects_max_samples(star_graph):
+    result = imm(star_graph, 1, seed=8, max_samples=500)
+    assert result.num_samples <= 500
+
+
+def test_imm_tiny_graph_shortcut():
+    graph = from_edge_list(1, [])
+    result = imm(graph, 1, seed=9)
+    assert result.seeds == (0,)
+
+
+def test_imm_validation(star_graph):
+    with pytest.raises(SolverError):
+        imm(star_graph, 0)
+    with pytest.raises(SolverError):
+        imm(star_graph, 1, epsilon=0.0)
+    with pytest.raises(SolverError):
+        imm(star_graph, 1, ell=0.0)
+
+
+def test_imm_deterministic(star_graph):
+    a = imm(star_graph, 2, seed=11, max_samples=5000)
+    b = imm(star_graph, 2, seed=11, max_samples=5000)
+    assert a.seeds == b.seeds
+    assert a.num_samples == b.num_samples

@@ -1,0 +1,122 @@
+"""Stochastic Kronecker generator and solution-report tests."""
+
+import pytest
+
+from repro.communities.structure import Community, CommunityStructure
+from repro.errors import GraphError
+from repro.experiments.solution_report import (
+    CommunityOutcome,
+    render_report,
+    solution_report,
+)
+from repro.graph.builders import from_edge_list
+from repro.graph.generators import stochastic_kronecker_graph
+
+
+# -------------------------------------------------------- kronecker
+
+
+def test_kronecker_node_count_is_power_of_two():
+    g = stochastic_kronecker_graph(5, seed=1)
+    assert g.num_nodes == 32
+
+
+def test_kronecker_edge_count_near_expectation():
+    initiator = ((0.9, 0.5), (0.5, 0.2))
+    total = 2.1
+    levels = 7
+    g = stochastic_kronecker_graph(levels, initiator, seed=2)
+    expected = total ** levels
+    # Duplicate collisions shave some edges; stay within a loose band.
+    assert 0.5 * expected <= g.num_edges <= expected
+
+
+def test_kronecker_skewed_degrees():
+    g = stochastic_kronecker_graph(8, seed=3)
+    degrees = sorted(
+        (g.out_degree(v) + g.in_degree(v) for v in g.nodes()), reverse=True
+    )
+    mean = 2 * g.num_edges / g.num_nodes
+    assert degrees[0] > 3 * mean  # core hub far above the mean
+
+
+def test_kronecker_no_self_loops():
+    g = stochastic_kronecker_graph(5, seed=4)
+    for u, v, _ in g.edges():
+        assert u != v
+
+
+def test_kronecker_deterministic():
+    a = stochastic_kronecker_graph(5, seed=9)
+    b = stochastic_kronecker_graph(5, seed=9)
+    assert a == b
+
+
+def test_kronecker_validation():
+    with pytest.raises(GraphError):
+        stochastic_kronecker_graph(0)
+    with pytest.raises(GraphError):
+        stochastic_kronecker_graph(3, initiator=((1.5, 0.1), (0.1, 0.1)))
+    with pytest.raises(GraphError):
+        stochastic_kronecker_graph(3, initiator=((0.0, 0.0), (0.0, 0.0)))
+    with pytest.raises(GraphError):
+        stochastic_kronecker_graph(3, edge_factor=0.0)
+
+
+# ---------------------------------------------------- solution report
+
+
+@pytest.fixture
+def report_instance():
+    graph = from_edge_list(4, [(0, 1, 1.0), (2, 3, 0.0)])
+    communities = CommunityStructure(
+        [
+            Community(members=(0, 1), threshold=2, benefit=4.0),
+            Community(members=(2, 3), threshold=2, benefit=1.0),
+        ]
+    )
+    return graph, communities
+
+
+def test_solution_report_rows(report_instance):
+    graph, communities = report_instance
+    outcomes = solution_report(graph, communities, [0], num_trials=100, seed=1)
+    assert len(outcomes) == 2
+    by_index = {o.index: o for o in outcomes}
+    # Community 0 always tips (0 seeds, edge 0->1 deterministic).
+    assert by_index[0].tipping_probability == 1.0
+    assert by_index[0].seeds_inside == 1
+    assert by_index[0].expected_benefit == pytest.approx(4.0)
+    # Community 1 never tips.
+    assert by_index[1].tipping_probability == 0.0
+    assert by_index[1].seeds_inside == 0
+
+
+def test_solution_report_sorted_by_expected_benefit(report_instance):
+    graph, communities = report_instance
+    outcomes = solution_report(graph, communities, [0], num_trials=50, seed=2)
+    values = [o.expected_benefit for o in outcomes]
+    assert values == sorted(values, reverse=True)
+
+
+def test_render_report_totals(report_instance):
+    graph, communities = report_instance
+    outcomes = solution_report(graph, communities, [0], num_trials=50, seed=3)
+    text = render_report(outcomes)
+    assert "total" in text
+    assert "Pr[tip]" in text
+    assert "4.000" in text
+    short = render_report(outcomes, top=1)
+    assert short.count("\n") < text.count("\n")
+
+
+def test_outcome_dataclass():
+    outcome = CommunityOutcome(
+        index=0,
+        size=3,
+        threshold=2,
+        benefit=6.0,
+        seeds_inside=1,
+        tipping_probability=0.5,
+    )
+    assert outcome.expected_benefit == 3.0

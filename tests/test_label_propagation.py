@@ -1,0 +1,77 @@
+"""Label propagation detector tests."""
+
+import pytest
+
+from repro.communities.label_propagation import label_propagation_communities
+from repro.graph.builders import from_undirected_edge_list
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import planted_partition_graph
+
+
+def test_empty_graph():
+    assert label_propagation_communities(DiGraph(0)) == []
+
+
+def test_isolated_nodes_stay_singletons():
+    blocks = label_propagation_communities(DiGraph(3), seed=1)
+    assert sorted(map(tuple, blocks)) == [(0,), (1,), (2,)]
+
+
+def test_result_is_partition():
+    graph, _ = planted_partition_graph(
+        [6] * 5, p_in=0.7, p_out=0.02, directed=False, seed=2
+    )
+    blocks = label_propagation_communities(graph, seed=2)
+    flat = sorted(v for b in blocks for v in b)
+    assert flat == list(range(graph.num_nodes))
+
+
+def test_two_cliques_separated():
+    edges = [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)]
+    g = from_undirected_edge_list(6, edges)
+    blocks = label_propagation_communities(g, seed=3)
+    as_sets = {frozenset(b) for b in blocks}
+    assert frozenset({0, 1, 2}) in as_sets
+    assert frozenset({3, 4, 5}) in as_sets
+
+
+def test_recovers_most_planted_blocks():
+    graph, truth = planted_partition_graph(
+        [10] * 4, p_in=0.8, p_out=0.01, directed=False, seed=4
+    )
+    blocks = label_propagation_communities(graph, seed=4)
+    truth_sets = {frozenset(b) for b in truth}
+    found_sets = {frozenset(b) for b in blocks}
+    assert len(truth_sets & found_sets) >= 3
+
+
+def test_deterministic_given_seed():
+    graph, _ = planted_partition_graph(
+        [5] * 4, p_in=0.6, p_out=0.05, directed=False, seed=5
+    )
+    a = label_propagation_communities(graph, seed=42)
+    b = label_propagation_communities(graph, seed=42)
+    assert a == b
+
+
+def test_directed_edges_treated_symmetrically():
+    g = DiGraph(4)
+    g.add_edge(0, 1, 1.0)  # only one direction present
+    g.add_edge(1, 0, 1.0)
+    g.add_edge(2, 3, 1.0)
+    blocks = label_propagation_communities(g, seed=6)
+    as_sets = {frozenset(b) for b in blocks}
+    assert frozenset({0, 1}) in as_sets
+    assert frozenset({2, 3}) in as_sets
+
+
+def test_usable_with_build_structure():
+    from repro.communities.thresholds import build_structure
+
+    graph, _ = planted_partition_graph(
+        [8] * 3, p_in=0.7, p_out=0.02, directed=False, seed=7
+    )
+    blocks = label_propagation_communities(graph, seed=7)
+    structure = build_structure(blocks, size_cap=8)
+    structure.validate_against(graph.num_nodes)
+    assert structure.r >= 3

@@ -1,0 +1,188 @@
+"""LT-model extension tests: live-edge equivalence and LT-mode RIC.
+
+The paper notes its solution "can be easily extended to the Linear
+Threshold model" (Section II-A); these tests validate our concrete
+extension: the triggering-set live-edge view of LT and the LT-mode RIC
+sampler whose estimate matches forward LT simulation.
+"""
+
+import pytest
+
+from repro.communities.structure import Community, CommunityStructure
+from repro.core.framework import solve_imc
+from repro.core.maf import MAF
+from repro.core.ubg import UBG
+from repro.diffusion.linear_threshold import lt_live_edge_graph, simulate_lt
+from repro.diffusion.simulator import benefit_of_active_set
+from repro.errors import GraphError, SamplingError
+from repro.graph.analysis import forward_reachable
+from repro.graph.builders import from_edge_list
+from repro.graph.generators import planted_partition_graph
+from repro.graph.weights import assign_weighted_cascade
+from repro.rng import make_rng
+from repro.sampling.ric import RICSampler
+
+
+@pytest.fixture
+def lt_graph():
+    """Weighted-cascade graph: valid LT weights by construction."""
+    g = from_edge_list(
+        5, [(0, 2), (1, 2), (2, 3), (0, 3), (3, 4)]
+    )
+    return assign_weighted_cascade(g)
+
+
+# ------------------------------------------------------ live-edge view
+
+
+def test_lt_live_edge_at_most_one_in_edge(lt_graph):
+    for s in range(30):
+        live = lt_live_edge_graph(lt_graph, seed=s)
+        for v in live.nodes():
+            assert live.in_degree(v) <= 1
+
+
+def test_lt_live_edge_rejects_overweight():
+    g = from_edge_list(3, [(0, 2, 0.7), (1, 2, 0.7)])
+    with pytest.raises(GraphError):
+        lt_live_edge_graph(g, seed=1)
+
+
+def test_lt_live_edge_trigger_distribution():
+    g = from_edge_list(3, [(0, 2, 0.3), (1, 2, 0.5)])
+    rng = make_rng(9)
+    counts = {0: 0, 1: 0, None: 0}
+    trials = 30_000
+    for _ in range(trials):
+        live = lt_live_edge_graph(g, seed=rng)
+        sources = live.in_neighbors(2)
+        counts[sources[0] if sources else None] += 1
+    assert counts[0] / trials == pytest.approx(0.3, abs=0.015)
+    assert counts[1] / trials == pytest.approx(0.5, abs=0.015)
+    assert counts[None] / trials == pytest.approx(0.2, abs=0.015)
+
+
+def test_lt_live_edge_equivalence_with_forward_simulation(lt_graph):
+    """Pr[v activated] matches between forward LT and live-edge LT."""
+    rng_a, rng_b = make_rng(1), make_rng(2)
+    trials = 20_000
+    seeds = [0]
+    target = 4
+    forward_hits = sum(
+        target in simulate_lt(lt_graph, seeds, seed=rng_a)
+        for _ in range(trials)
+    )
+    live_hits = sum(
+        target in forward_reachable(lt_live_edge_graph(lt_graph, seed=rng_b), seeds)
+        for _ in range(trials)
+    )
+    assert forward_hits / trials == pytest.approx(
+        live_hits / trials, abs=0.02
+    )
+
+
+# -------------------------------------------------------- LT-mode RIC
+
+
+def test_ric_lt_mode_validates_model(lt_graph):
+    communities = CommunityStructure(
+        [Community(members=(3, 4), threshold=1, benefit=1.0)]
+    )
+    with pytest.raises(SamplingError):
+        RICSampler(lt_graph, communities, model="sir")
+
+
+def test_ric_lt_mode_rejects_overweight_node():
+    g = from_edge_list(3, [(0, 2, 0.7), (1, 2, 0.7)])
+    communities = CommunityStructure(
+        [Community(members=(2,), threshold=1, benefit=1.0)]
+    )
+    sampler = RICSampler(g, communities, seed=1, model="lt")
+    with pytest.raises(SamplingError):
+        sampler.sample()
+
+
+def test_ric_lt_unbiasedness_against_forward_lt(lt_graph):
+    """b·E[X_g(S)] under LT-mode RIC matches forward LT Monte Carlo."""
+    communities = CommunityStructure(
+        [Community(members=(2, 3), threshold=2, benefit=1.0)]
+    )
+    sampler = RICSampler(lt_graph, communities, seed=3, model="lt")
+    trials = 25_000
+    for seeds in ([0], [0, 1]):
+        hits = sum(
+            sampler.sample().is_influenced_by(seeds) for _ in range(trials)
+        )
+        ric_estimate = communities.total_benefit * hits / trials
+        rng = make_rng(11)
+        forward = sum(
+            benefit_of_active_set(
+                simulate_lt(lt_graph, seeds, seed=rng), communities
+            )
+            for _ in range(trials)
+        ) / trials
+        assert ric_estimate == pytest.approx(forward, abs=0.02), seeds
+
+
+def test_ric_lt_reach_sets_are_paths(lt_graph):
+    """With one trigger per node, each reach set is a simple backward
+    path (plus branching only where multiple nodes share a trigger)."""
+    communities = CommunityStructure(
+        [Community(members=(4,), threshold=1, benefit=1.0)]
+    )
+    sampler = RICSampler(lt_graph, communities, seed=4, model="lt")
+    for _ in range(50):
+        sample = sampler.sample()
+        (reach,) = sample.reach_sets
+        # Reach set of a single member under LT is a chain: its size is
+        # bounded by the longest backward path (4 here).
+        assert 1 <= len(reach) <= 5
+
+
+def test_solve_imc_lt_model_end_to_end():
+    graph, blocks = planted_partition_graph(
+        [5] * 4, p_in=0.6, p_out=0.05, directed=True, seed=21
+    )
+    assign_weighted_cascade(graph)
+    communities = CommunityStructure(
+        [Community(members=tuple(b), threshold=2, benefit=float(len(b))) for b in blocks]
+    )
+    result = solve_imc(
+        graph,
+        communities,
+        k=4,
+        solver=UBG(),
+        seed=22,
+        max_samples=3000,
+        model="lt",
+    )
+    assert result.selection.seeds
+    # LT spreads less than IC (single trigger), but seeds still earn
+    # positive benefit via their own membership.
+    assert result.selection.objective > 0
+
+
+def test_solve_imc_pool_model_wins_over_argument():
+    """A supplied pool's model overrides the model argument."""
+    graph, blocks = planted_partition_graph(
+        [4] * 3, p_in=0.7, p_out=0.05, directed=True, seed=31
+    )
+    assign_weighted_cascade(graph)
+    communities = CommunityStructure(
+        [Community(members=tuple(b), threshold=1, benefit=1.0) for b in blocks]
+    )
+    from repro.sampling.pool import RICSamplePool
+
+    pool = RICSamplePool(RICSampler(graph, communities, seed=32, model="lt"))
+    result = solve_imc(
+        graph,
+        communities,
+        k=2,
+        solver=MAF(seed=1),
+        seed=33,
+        max_samples=2000,
+        pool=pool,
+        model="ic",  # ignored: the pool is LT
+    )
+    assert pool.sampler.model == "lt"
+    assert result.selection.seeds

@@ -1,0 +1,121 @@
+"""Cross-module consistency with the paper's formulas.
+
+The theoretical constants appear in two places each — the solvers'
+``alpha`` methods (used by the Ψ bound) and the standalone
+``repro.core.ratios`` helpers (used by tests/reports). These tests pin
+them to each other and to hand-computed values so a drive-by edit of
+one copy cannot silently diverge.
+"""
+
+import math
+
+import pytest
+
+from repro.communities.structure import Community, CommunityStructure
+from repro.core.bt import BT, MB
+from repro.core.framework import (
+    lambda_stop_threshold,
+    optimal_benefit_lower_bound,
+    psi_sample_bound,
+)
+from repro.core.maf import MAF
+from repro.core.ratios import bt_ratio, maf_ratio, mb_ratio
+from repro.core.ubg import UBG
+from repro.diffusion.estimators import stopping_rule_threshold
+from repro.graph.digraph import DiGraph
+from repro.sampling.pool import RICSamplePool
+from repro.sampling.ric import RICSampler
+from repro.utils.math import log_binomial
+
+
+@pytest.fixture
+def pool():
+    communities = CommunityStructure(
+        [
+            Community(members=(0, 1), threshold=2, benefit=2.0),
+            Community(members=(2, 3, 4), threshold=2, benefit=3.0),
+            Community(members=(5,), threshold=1, benefit=1.0),
+        ]
+    )
+    return RICSamplePool(RICSampler(DiGraph(10), communities, seed=1))
+
+
+def test_maf_alpha_equals_ratio_helper(pool):
+    communities = pool.sampler.communities
+    for k in (1, 2, 4, 8):
+        assert MAF().alpha(pool, k) == pytest.approx(
+            maf_ratio(k, communities.max_threshold, communities.r)
+        )
+
+
+def test_bt_alpha_equals_ratio_helper(pool):
+    for k in (1, 3, 7):
+        for d in (2, 3):
+            assert BT(threshold_bound=d).alpha(pool, k) == pytest.approx(
+                bt_ratio(k, d)
+            )
+
+
+def test_mb_alpha_equals_ratio_helper(pool):
+    communities = pool.sampler.communities
+    for k in (2, 5, 9):
+        assert MB().alpha(pool, k) == pytest.approx(
+            mb_ratio(k, communities.r)
+        )
+
+
+def test_ubg_alpha_is_greedy_constant(pool):
+    assert UBG().alpha(pool, 3) == pytest.approx(1 - 1 / math.e)
+
+
+def test_psi_matches_eq22_by_hand(pool):
+    """Ψ = (b·h)/(β·k) · max(2ln(1/δ1)/ε1², 3ln(C(n,k)/δ2)/(α²ε2²))."""
+    communities = pool.sampler.communities
+    graph = DiGraph(10)
+    k, alpha, epsilon, delta = 2, 0.5, 0.2, 0.2
+    eps1 = eps2 = epsilon / 2
+    delta1 = delta2 = delta / 2
+    b = communities.total_benefit
+    beta = communities.min_benefit
+    h = communities.max_threshold
+    term1 = 2 * math.log(1 / delta1) / eps1**2
+    term2 = (
+        3
+        * (log_binomial(10, k) + math.log(1 / delta2))
+        / (alpha**2 * eps2**2)
+    )
+    expected = (b * h) / (beta * k) * max(term1, term2)
+    assert psi_sample_bound(
+        graph, communities, k, alpha, epsilon, delta
+    ) == pytest.approx(expected)
+
+
+def test_lower_bound_matches_beta_k_over_h(pool):
+    communities = pool.sampler.communities
+    assert optimal_benefit_lower_bound(communities, 4) == pytest.approx(
+        communities.min_benefit * 4 / communities.max_threshold
+    )
+
+
+def test_lambda_matches_ssa_constant_by_hand():
+    epsilon, delta = 0.2, 0.2
+    e1 = e2 = e3 = epsilon / 4
+    expected = (
+        (1 + e1) * (1 + e2) * (2 + 2 * e3 / 3) * math.log(3 / delta) / e3**2
+    )
+    assert lambda_stop_threshold(epsilon, delta) == pytest.approx(expected)
+
+
+def test_epsilon_split_satisfies_alg5_line3():
+    """ε₁=ε₂=ε₃=ε/4 must satisfy ε ≥ ε₁+ε₂+ε₃+ε₁ε₂ for all ε in (0,1)."""
+    for epsilon in (0.05, 0.2, 0.5, 0.9):
+        e = epsilon / 4
+        assert epsilon >= 3 * e + e * e
+
+
+def test_dagum_lambda_prime_matches_alg6_line1():
+    epsilon, delta = 0.25, 0.1
+    expected = 1 + 4 * (math.e - 2) * math.log(2 / delta) * (1 + epsilon) / (
+        epsilon**2
+    )
+    assert stopping_rule_threshold(epsilon, delta) == pytest.approx(expected)

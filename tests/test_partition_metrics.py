@@ -1,0 +1,82 @@
+"""NMI / ARI partition metric tests."""
+
+import pytest
+
+from repro.communities.metrics import (
+    adjusted_rand_index,
+    normalized_mutual_information,
+    partition_agreement,
+)
+from repro.errors import CommunityError
+
+A = [[0, 1, 2], [3, 4, 5]]
+SHUFFLED = [[3, 4, 5], [0, 1, 2]]  # same partition, different order
+CROSS = [[0, 3], [1, 4], [2, 5]]
+SINGLETONS = [[0], [1], [2], [3], [4], [5]]
+WHOLE = [[0, 1, 2, 3, 4, 5]]
+
+
+def test_identical_partitions_score_one():
+    assert normalized_mutual_information(A, A) == pytest.approx(1.0)
+    assert adjusted_rand_index(A, A) == pytest.approx(1.0)
+
+
+def test_label_permutation_invariance():
+    assert normalized_mutual_information(A, SHUFFLED) == pytest.approx(1.0)
+    assert adjusted_rand_index(A, SHUFFLED) == pytest.approx(1.0)
+
+
+def test_orthogonal_partitions_score_low():
+    nmi = normalized_mutual_information(A, CROSS)
+    ari = adjusted_rand_index(A, CROSS)
+    assert nmi == pytest.approx(0.0, abs=1e-9)
+    assert ari <= 0.0 + 1e-9
+
+
+def test_refinement_scores_between():
+    nmi = normalized_mutual_information(A, SINGLETONS)
+    assert 0.0 < nmi < 1.0
+
+
+def test_degenerate_whole_partitions():
+    assert normalized_mutual_information(WHOLE, WHOLE) == 1.0
+    assert adjusted_rand_index(WHOLE, WHOLE) == 1.0
+    assert adjusted_rand_index(SINGLETONS, SINGLETONS) == 1.0
+
+
+def test_symmetry():
+    assert normalized_mutual_information(A, CROSS) == pytest.approx(
+        normalized_mutual_information(CROSS, A)
+    )
+    assert adjusted_rand_index(A, SINGLETONS) == pytest.approx(
+        adjusted_rand_index(SINGLETONS, A)
+    )
+
+
+def test_mismatched_node_sets_rejected():
+    with pytest.raises(CommunityError):
+        normalized_mutual_information(A, [[0, 1, 2]])
+    with pytest.raises(CommunityError):
+        adjusted_rand_index(A, [[0, 1], [2, 99, 4, 5]])
+
+
+def test_duplicate_nodes_rejected():
+    with pytest.raises(CommunityError):
+        normalized_mutual_information([[0, 1], [1, 2]], A)
+
+
+def test_partition_agreement_dict():
+    scores = partition_agreement(A, SHUFFLED)
+    assert scores == {"nmi": pytest.approx(1.0), "ari": pytest.approx(1.0)}
+
+
+def test_louvain_recovers_planted_blocks_by_nmi():
+    from repro.communities.louvain import louvain_communities
+    from repro.graph.generators import planted_partition_graph
+
+    graph, truth = planted_partition_graph(
+        [10] * 4, p_in=0.7, p_out=0.01, directed=False, seed=3
+    )
+    detected = louvain_communities(graph, seed=3)
+    assert normalized_mutual_information(truth, detected) > 0.9
+    assert adjusted_rand_index(truth, detected) > 0.85

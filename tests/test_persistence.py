@@ -1,0 +1,123 @@
+"""JSON persistence tests: community structures and experiment runs."""
+
+import json
+
+import pytest
+
+from repro.communities.io import (
+    load_structure,
+    save_structure,
+    structure_from_dict,
+    structure_to_dict,
+)
+from repro.communities.structure import Community, CommunityStructure
+from repro.errors import CommunityError, ExperimentError
+from repro.experiments.persistence import (
+    load_runs,
+    records_to_runs,
+    runs_to_records,
+    save_runs,
+)
+from repro.experiments.runner import AlgorithmRun
+
+
+@pytest.fixture
+def structure():
+    return CommunityStructure(
+        [
+            Community(members=(0, 1, 2), threshold=2, benefit=3.0),
+            Community(members=(5, 7), threshold=1, benefit=1.5),
+        ]
+    )
+
+
+def test_structure_round_trip_dict(structure):
+    rebuilt = structure_from_dict(structure_to_dict(structure))
+    assert rebuilt.r == structure.r
+    assert [c.members for c in rebuilt] == [c.members for c in structure]
+    assert rebuilt.thresholds() == structure.thresholds()
+    assert rebuilt.benefits() == structure.benefits()
+
+
+def test_structure_round_trip_file(structure, tmp_path):
+    path = tmp_path / "communities.json"
+    save_structure(structure, path)
+    rebuilt = load_structure(path)
+    assert [c.members for c in rebuilt] == [c.members for c in structure]
+    # The file is plain JSON with the documented schema.
+    payload = json.loads(path.read_text())
+    assert payload["version"] == 1
+    assert len(payload["communities"]) == 2
+
+
+def test_structure_from_dict_validates():
+    with pytest.raises(CommunityError):
+        structure_from_dict({"not": "a structure"})
+    with pytest.raises(CommunityError):
+        structure_from_dict({"version": 99, "communities": []})
+    with pytest.raises(CommunityError):
+        structure_from_dict(
+            {"version": 1, "communities": [{"members": [0]}]}
+        )
+
+
+def test_structure_from_dict_rejects_invalid_community():
+    # Overlapping members still rejected through deserialisation.
+    payload = {
+        "version": 1,
+        "communities": [
+            {"members": [0, 1], "threshold": 1, "benefit": 1.0},
+            {"members": [1, 2], "threshold": 1, "benefit": 1.0},
+        ],
+    }
+    with pytest.raises(CommunityError):
+        structure_from_dict(payload)
+
+
+# ------------------------------------------------------------- run data
+
+
+@pytest.fixture
+def results():
+    return {
+        "UBG": [
+            AlgorithmRun("UBG", 5, (1, 2), 10.0, 0.5),
+            AlgorithmRun("UBG", 10, (1, 2, 3), 15.0, 0.9),
+        ],
+        "KS": [AlgorithmRun("KS", 5, (7,), 3.0, 0.01)],
+    }
+
+
+def test_runs_round_trip_records(results):
+    rebuilt = records_to_runs(runs_to_records(results))
+    assert rebuilt == results
+
+
+def test_runs_round_trip_file(results, tmp_path):
+    path = tmp_path / "runs.json"
+    save_runs(results, path, metadata={"dataset": "facebook"})
+    rebuilt = load_runs(path)
+    assert rebuilt == results
+    payload = json.loads(path.read_text())
+    assert payload["metadata"]["dataset"] == "facebook"
+
+
+def test_records_sorted_by_k():
+    records = [
+        {"algorithm": "A", "k": 10, "seeds": [1], "benefit": 2.0, "runtime_seconds": 0.1},
+        {"algorithm": "A", "k": 5, "seeds": [2], "benefit": 1.0, "runtime_seconds": 0.1},
+    ]
+    rebuilt = records_to_runs(records)
+    assert [r.k for r in rebuilt["A"]] == [5, 10]
+
+
+def test_records_validation():
+    with pytest.raises(ExperimentError):
+        records_to_runs([{"algorithm": "A"}])
+
+
+def test_load_runs_rejects_bad_version(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text(json.dumps({"version": 42, "records": []}))
+    with pytest.raises(ExperimentError):
+        load_runs(path)

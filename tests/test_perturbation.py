@@ -1,0 +1,94 @@
+"""Perturbation robustness tests."""
+
+import pytest
+
+from repro.communities.structure import Community, CommunityStructure
+from repro.errors import ExperimentError
+from repro.experiments.perturbation import (
+    PerturbationResult,
+    perturb_weights,
+    perturbation_study,
+)
+from repro.graph.builders import from_edge_list
+
+
+@pytest.fixture
+def instance():
+    graph = from_edge_list(
+        5, [(0, 1, 0.6), (0, 2, 0.4), (3, 4, 0.5)]
+    )
+    communities = CommunityStructure(
+        [
+            Community(members=(1, 2), threshold=1, benefit=2.0),
+            Community(members=(4,), threshold=1, benefit=1.0),
+        ]
+    )
+    return graph, communities
+
+
+def test_perturb_weights_structure_preserved(instance):
+    graph, _ = instance
+    perturbed = perturb_weights(graph, 0.3, seed=1)
+    assert perturbed.num_nodes == graph.num_nodes
+    assert perturbed.num_edges == graph.num_edges
+    for u, v, w in graph.edges():
+        assert perturbed.has_edge(u, v)
+        assert 0.0 <= perturbed.weight(u, v) <= 1.0
+
+
+def test_perturb_weights_within_band(instance):
+    graph, _ = instance
+    delta = 0.25
+    perturbed = perturb_weights(graph, delta, seed=2)
+    for u, v, w in graph.edges():
+        assert perturbed.weight(u, v) <= min(1.0, w * (1 + delta)) + 1e-12
+        assert perturbed.weight(u, v) >= w * (1 - delta) - 1e-12
+
+
+def test_zero_delta_is_identity(instance):
+    graph, _ = instance
+    assert perturb_weights(graph, 0.0, seed=3) == graph
+
+
+def test_perturb_weights_validates(instance):
+    graph, _ = instance
+    with pytest.raises(ExperimentError):
+        perturb_weights(graph, 1.5)
+    with pytest.raises(ExperimentError):
+        perturb_weights(graph, -0.1)
+
+
+def test_perturbation_study_result(instance):
+    graph, communities = instance
+    result = perturbation_study(
+        graph,
+        communities,
+        [0, 3],
+        delta=0.2,
+        num_graphs=5,
+        eval_trials=400,
+        seed=4,
+    )
+    assert isinstance(result, PerturbationResult)
+    assert len(result.samples) == 5
+    assert result.worst_benefit <= result.mean_benefit
+    assert result.baseline_benefit > 0
+    # Multiplicative ±20% jitter keeps the mean within a modest band.
+    assert abs(result.relative_degradation) < 0.35
+
+
+def test_perturbation_study_validates(instance):
+    graph, communities = instance
+    with pytest.raises(ExperimentError):
+        perturbation_study(graph, communities, [0], num_graphs=0)
+
+
+def test_deterministic_given_seed(instance):
+    graph, communities = instance
+    a = perturbation_study(
+        graph, communities, [0], num_graphs=3, eval_trials=100, seed=9
+    )
+    b = perturbation_study(
+        graph, communities, [0], num_graphs=3, eval_trials=100, seed=9
+    )
+    assert a.samples == b.samples

@@ -1,0 +1,80 @@
+"""Property-based estimator tests.
+
+The Dagum stopping rule and the LT live-edge equivalence, checked over
+randomly drawn parameters (coarse tolerances keep runtime modest).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.diffusion.estimators import (
+    dagum_stopping_rule,
+    stopping_rule_threshold,
+)
+from repro.rng import make_rng
+
+
+@given(
+    st.floats(0.05, 0.95),
+    st.integers(0, 2**16),
+)
+@settings(max_examples=15, deadline=None)
+def test_dagum_estimates_bernoulli_within_band(p, seed):
+    rng = make_rng(seed)
+    result = dagum_stopping_rule(
+        lambda: 1.0 if rng.random() < p else 0.0, epsilon=0.2, delta=0.1
+    )
+    assert result.converged
+    # ε=0.2, δ=0.1: allow a generous 2ε band so the property test never
+    # trips on the permitted δ-probability tail.
+    assert result.value == pytest.approx(p, rel=0.4)
+
+
+@given(st.floats(0.05, 0.6), st.floats(0.02, 0.4))
+@settings(max_examples=30, deadline=None)
+def test_threshold_monotonicity(epsilon, delta):
+    base = stopping_rule_threshold(epsilon, delta)
+    assert base > 1.0
+    # Tightening either parameter raises the threshold.
+    assert stopping_rule_threshold(epsilon / 2, delta) > base
+    assert stopping_rule_threshold(epsilon, delta / 2) > base
+
+
+@given(
+    st.floats(0.05, 0.95),
+    st.integers(0, 2**16),
+)
+@settings(max_examples=15, deadline=None)
+def test_dagum_trials_scale_inversely_with_mean(p, seed):
+    """Smaller means need proportionally more trials (multiplicative
+    guarantee), which the stopping rule achieves automatically."""
+    rng = make_rng(seed)
+    result = dagum_stopping_rule(
+        lambda: 1.0 if rng.random() < p else 0.0, epsilon=0.25, delta=0.2
+    )
+    threshold = stopping_rule_threshold(0.25, 0.2)
+    # T must be ~ threshold / p; check the right order of magnitude.
+    assert result.trials >= threshold - 1
+    assert result.trials <= 8 * threshold / p
+
+
+@given(
+    st.lists(st.floats(0.05, 1.0), min_size=1, max_size=6),
+    st.integers(0, 2**16),
+)
+@settings(max_examples=30, deadline=None)
+def test_lt_live_edge_in_degree_invariant(weights, seed):
+    """For any valid LT weighting, every live-edge draw keeps at most
+    one in-edge per node."""
+    from repro.diffusion.linear_threshold import lt_live_edge_graph
+    from repro.graph.digraph import DiGraph
+
+    total = sum(weights)
+    normalized = [w / max(total, 1.0) for w in weights]
+    n = len(weights) + 1
+    g = DiGraph(n)
+    for i, w in enumerate(normalized):
+        g.add_edge(i, n - 1, min(1.0, w))
+    live = lt_live_edge_graph(g, seed=seed)
+    assert live.in_degree(n - 1) <= 1

@@ -1,0 +1,113 @@
+"""Property-based tests for the synthetic generators.
+
+For arbitrary valid parameters, every generator must produce a
+structurally sound graph (ids in range, no self-loops, declared
+symmetry honoured, determinism under a fixed seed).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.generators import (
+    barabasi_albert_graph,
+    copying_model_graph,
+    erdos_renyi_graph,
+    forest_fire_graph,
+    planted_partition_graph,
+    stochastic_kronecker_graph,
+    watts_strogatz_graph,
+)
+
+
+def _structurally_sound(graph):
+    n = graph.num_nodes
+    for u, v, w in graph.edges():
+        assert 0 <= u < n and 0 <= v < n
+        assert u != v
+        assert 0.0 <= w <= 1.0
+    # in/out views agree.
+    assert sum(graph.out_degree(v) for v in graph.nodes()) == graph.num_edges
+    assert sum(graph.in_degree(v) for v in graph.nodes()) == graph.num_edges
+
+
+@given(
+    st.integers(2, 40),
+    st.floats(0.0, 1.0),
+    st.booleans(),
+    st.integers(0, 2**16),
+)
+@settings(max_examples=60, deadline=None)
+def test_er_sound(n, p, directed, seed):
+    g = erdos_renyi_graph(n, p, directed=directed, seed=seed)
+    _structurally_sound(g)
+    if not directed:
+        for u, v, _ in g.edges():
+            assert g.has_edge(v, u)
+    assert g == erdos_renyi_graph(n, p, directed=directed, seed=seed)
+
+
+@given(st.integers(1, 5), st.integers(0, 2**16), st.booleans())
+@settings(max_examples=60, deadline=None)
+def test_ba_sound(m, seed, directed):
+    n = m + 1 + (seed % 30) + 1
+    g = barabasi_albert_graph(n, m, directed=directed, seed=seed)
+    _structurally_sound(g)
+    # Every non-core node contributes exactly m out-links (directed) or
+    # m undirected attachments.
+    if directed:
+        for v in range(m + 1, n):
+            assert g.out_degree(v) == m
+
+
+@given(st.integers(1, 4), st.floats(0.0, 1.0), st.integers(0, 2**16))
+@settings(max_examples=40, deadline=None)
+def test_ws_sound(half_k, p, seed):
+    k = 2 * half_k
+    n = k + 1 + (seed % 20)
+    g = watts_strogatz_graph(n, k, p, seed=seed)
+    _structurally_sound(g)
+    assert g.num_edges == n * k  # edge count invariant under rewiring
+    for u, v, _ in g.edges():
+        assert g.has_edge(v, u)
+
+
+@given(
+    st.lists(st.integers(1, 8), min_size=1, max_size=5),
+    st.floats(0.0, 1.0),
+    st.integers(0, 2**16),
+)
+@settings(max_examples=60, deadline=None)
+def test_planted_partition_sound(sizes, p_in, seed):
+    p_out = p_in / 2.0
+    graph, blocks = planted_partition_graph(
+        sizes, p_in=p_in, p_out=p_out, directed=True, seed=seed
+    )
+    _structurally_sound(graph)
+    assert [len(b) for b in blocks] == sizes
+    flat = sorted(v for b in blocks for v in b)
+    assert flat == list(range(sum(sizes)))
+
+
+@given(st.integers(1, 40), st.floats(0.0, 0.5), st.integers(0, 2**16))
+@settings(max_examples=40, deadline=None)
+def test_forest_fire_sound(n, fwd, seed):
+    g = forest_fire_graph(n, forward_probability=fwd, seed=seed)
+    _structurally_sound(g)
+    for v in range(1, n):
+        assert g.out_degree(v) >= 1  # everyone links backward
+
+
+@given(st.integers(1, 4), st.integers(0, 2**16), st.floats(0.0, 1.0))
+@settings(max_examples=40, deadline=None)
+def test_copying_model_sound(d, seed, copy_p):
+    n = d + 2 + (seed % 25)
+    g = copying_model_graph(n, out_degree=d, copy_probability=copy_p, seed=seed)
+    _structurally_sound(g)
+
+
+@given(st.integers(1, 7), st.integers(0, 2**16))
+@settings(max_examples=40, deadline=None)
+def test_kronecker_sound(levels, seed):
+    g = stochastic_kronecker_graph(levels, seed=seed)
+    _structurally_sound(g)
+    assert g.num_nodes == 2**levels

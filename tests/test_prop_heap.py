@@ -1,0 +1,64 @@
+"""Property-based tests: LazyMaxHeap against a dict model."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils.heap import LazyMaxHeap
+
+# Operation stream: ("push", key, priority) | ("pop",) | ("discard", key)
+ops = st.lists(
+    st.one_of(
+        st.tuples(
+            st.just("push"),
+            st.integers(0, 9),
+            st.floats(-100, 100, allow_nan=False),
+        ),
+        st.tuples(st.just("pop")),
+        st.tuples(st.just("discard"), st.integers(0, 9)),
+    ),
+    max_size=60,
+)
+
+
+@given(ops)
+@settings(max_examples=200, deadline=None)
+def test_heap_matches_dict_model(operations):
+    heap: LazyMaxHeap = LazyMaxHeap()
+    model = {}
+    for op in operations:
+        if op[0] == "push":
+            _, key, priority = op
+            heap.push(key, priority)
+            model[key] = priority
+        elif op[0] == "pop":
+            if model:
+                item, priority = heap.pop_max()
+                best = max(model.values())
+                assert priority == best
+                assert model[item] == priority
+                del model[item]
+            else:
+                assert not heap
+        else:
+            _, key = op
+            heap.discard(key)
+            model.pop(key, None)
+        assert len(heap) == len(model)
+    # Drain: items come out in non-increasing priority order.
+    last = float("inf")
+    while heap:
+        _, priority = heap.pop_max()
+        assert priority <= last
+        last = priority
+
+
+@given(
+    st.dictionaries(st.integers(0, 50), st.floats(-10, 10, allow_nan=False), max_size=30)
+)
+@settings(max_examples=100, deadline=None)
+def test_heap_drains_in_sorted_order(entries):
+    heap: LazyMaxHeap = LazyMaxHeap()
+    for key, priority in entries.items():
+        heap.push(key, priority)
+    drained = [heap.pop_max()[1] for _ in range(len(entries))]
+    assert drained == sorted(entries.values(), reverse=True)

@@ -1,0 +1,84 @@
+"""Property-based tests for partitions, size caps and policies."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.communities.random_partition import random_partition
+from repro.communities.thresholds import (
+    apply_size_cap,
+    build_structure,
+    constant_thresholds,
+    fractional_thresholds,
+)
+
+
+@given(st.integers(1, 60), st.integers(1, 20), st.integers(0, 2**16))
+@settings(max_examples=150, deadline=None)
+def test_random_partition_always_valid(n, r, seed):
+    if r > n:
+        r = n
+    blocks = random_partition(n, r, seed=seed)
+    assert len(blocks) == r
+    flat = sorted(v for b in blocks for v in b)
+    assert flat == list(range(n))
+    assert all(blocks[i] == sorted(blocks[i]) for i in range(r))
+    assert all(len(b) >= 1 for b in blocks)
+
+
+@st.composite
+def block_lists(draw):
+    n = draw(st.integers(1, 50))
+    nodes = list(range(n))
+    blocks = []
+    idx = 0
+    while idx < n:
+        size = draw(st.integers(1, min(15, n - idx)))
+        blocks.append(nodes[idx : idx + size])
+        idx += size
+    return blocks
+
+
+@given(block_lists(), st.integers(1, 12))
+@settings(max_examples=150, deadline=None)
+def test_size_cap_preserves_membership_and_respects_cap(blocks, cap):
+    capped = apply_size_cap(blocks, cap)
+    original = sorted(v for b in blocks for v in b)
+    result = sorted(v for b in capped for v in b)
+    assert original == result
+    assert all(1 <= len(b) <= cap for b in capped)
+
+
+@given(block_lists(), st.integers(1, 12))
+@settings(max_examples=100, deadline=None)
+def test_size_cap_piece_count_matches_ceiling(blocks, cap):
+    import math
+
+    capped = apply_size_cap(blocks, cap)
+    expected = sum(math.ceil(len(b) / cap) for b in blocks)
+    assert len(capped) == expected
+
+
+@given(block_lists(), st.integers(1, 10), st.floats(0.1, 1.0))
+@settings(max_examples=100, deadline=None)
+def test_build_structure_valid_for_any_policy(blocks, cap, fraction):
+    structure = build_structure(
+        blocks,
+        size_cap=cap,
+        threshold_policy=fractional_thresholds(fraction),
+    )
+    for community in structure:
+        assert 1 <= community.threshold <= community.size
+        assert community.benefit == float(community.size)
+    covered = sorted(
+        v for community in structure for v in community.members
+    )
+    assert covered == sorted(v for b in blocks for v in b)
+
+
+@given(block_lists(), st.integers(1, 5))
+@settings(max_examples=100, deadline=None)
+def test_bounded_thresholds_never_exceed_bound(blocks, bound):
+    structure = build_structure(
+        blocks, size_cap=None, threshold_policy=constant_thresholds(bound)
+    )
+    assert structure.max_threshold <= bound

@@ -1,0 +1,110 @@
+"""Cross-representation consistency properties.
+
+Three independent code paths compute the MAXR objectives — the pool's
+set-based scans, the incremental `CoverageState`, and the per-sample
+`RICSample.is_influenced_by` — plus the bitset engine. For any pool and
+any seed set they must all agree exactly.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.communities.structure import Community, CommunityStructure
+from repro.core.bitset_engine import BitsetCoverage
+from repro.core.objective import CoverageState
+from repro.graph.digraph import DiGraph
+from repro.sampling.pool import RICSamplePool
+from repro.sampling.ric import RICSample, RICSampler
+
+NUM_NODES = 10
+
+
+@st.composite
+def pool_and_seeds(draw):
+    num_communities = draw(st.integers(1, 3))
+    communities = []
+    next_node = 0
+    for _ in range(num_communities):
+        size = draw(st.integers(1, 3))
+        members = tuple(range(next_node, next_node + size))
+        next_node += size
+        communities.append(
+            Community(
+                members=members,
+                threshold=draw(st.integers(1, size)),
+                benefit=float(draw(st.integers(1, 5))),
+            )
+        )
+    structure = CommunityStructure(communities)
+    pool = RICSamplePool(RICSampler(DiGraph(NUM_NODES), structure, seed=0))
+    for _ in range(draw(st.integers(1, 6))):
+        idx = draw(st.integers(0, num_communities - 1))
+        community = structure[idx]
+        reaches = tuple(
+            frozenset(
+                draw(st.sets(st.integers(0, NUM_NODES - 1), max_size=4))
+                | {member}
+            )
+            for member in community.members
+        )
+        pool.add(RICSample(idx, community.threshold, community.members, reaches))
+    seeds = draw(
+        st.lists(
+            st.integers(0, NUM_NODES - 1), unique=True, min_size=0, max_size=5
+        )
+    )
+    return pool, seeds
+
+
+@given(pool_and_seeds())
+@settings(max_examples=150, deadline=None)
+def test_influenced_count_three_ways(args):
+    pool, seeds = args
+    # 1. Pool scan.
+    scan = pool.influenced_count(seeds)
+    # 2. Per-sample indicator.
+    per_sample = sum(
+        1 for sample in pool.samples if sample.is_influenced_by(seeds)
+    )
+    # 3. Incremental engines.
+    state = CoverageState(pool)
+    bitset = BitsetCoverage(pool)
+    for v in seeds:
+        state.add_seed(v)
+        bitset.add_seed(v)
+    assert scan == per_sample == state.influenced_count == bitset.influenced_count
+
+
+@given(pool_and_seeds())
+@settings(max_examples=150, deadline=None)
+def test_benefit_and_bound_agree_across_engines(args):
+    pool, seeds = args
+    state = CoverageState(pool)
+    bitset = BitsetCoverage(pool)
+    for v in seeds:
+        state.add_seed(v)
+        bitset.add_seed(v)
+    assert pool.estimate_benefit(seeds) == pytest.approx(
+        state.estimate_benefit()
+    )
+    assert pool.estimate_benefit(seeds) == pytest.approx(
+        bitset.estimate_benefit()
+    )
+    assert pool.estimate_upper_bound(seeds) == pytest.approx(
+        state.estimate_upper_bound()
+    )
+    assert pool.estimate_upper_bound(seeds) == pytest.approx(
+        bitset.estimate_upper_bound()
+    )
+
+
+@given(pool_and_seeds())
+@settings(max_examples=100, deadline=None)
+def test_covered_members_matches_fractional_numerator(args):
+    pool, seeds = args
+    total = sum(
+        min(sample.covered_members(seeds) / sample.threshold, 1.0)
+        for sample in pool.samples
+    )
+    assert pool.fractional_count(seeds) == pytest.approx(total)

@@ -1,0 +1,63 @@
+"""Property-based tests of the DkS → IMC reduction (Theorem 1).
+
+For random simple graphs and arbitrary node subsets, the proof's two
+observations hold exactly on the deterministic reduced instance.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.reduction import dks_to_imc, induced_edge_count
+
+
+@st.composite
+def dks_instances(draw):
+    n = draw(st.integers(2, 8))
+    possible = [(a, b) for a in range(n) for b in range(a + 1, n)]
+    edges = draw(
+        st.lists(st.sampled_from(possible), min_size=1, max_size=12, unique=True)
+    )
+    subset = draw(st.sets(st.integers(0, n - 1), max_size=n))
+    return edges, subset
+
+
+@given(dks_instances())
+@settings(max_examples=150, deadline=None)
+def test_lift_equality(args):
+    """Observation 1: c(lift(S_D)) = e(S_D)."""
+    edges, subset = args
+    red = dks_to_imc(edges)
+    liftable = [a for a in subset if a in red.copies_of]
+    lifted = red.lift(liftable)
+    assert red.benefit(lifted) == induced_edge_count(edges, liftable)
+
+
+@given(dks_instances())
+@settings(max_examples=150, deadline=None)
+def test_project_upper_bound(args):
+    """Observation 2: c(S_I) <= e(project(S_I)) for any copy subset."""
+    edges, subset = args
+    red = dks_to_imc(edges)
+    all_copies = sorted(red.corresponding)
+    copy_subset = [all_copies[i % len(all_copies)] for i in subset]
+    projected = red.project(copy_subset)
+    assert red.benefit(copy_subset) <= induced_edge_count(edges, projected)
+
+
+@given(dks_instances())
+@settings(max_examples=100, deadline=None)
+def test_reduction_structure_invariants(args):
+    edges, _ = args
+    red = dks_to_imc(edges)
+    # One community per edge, each with two distinct copies.
+    assert red.communities.r == len(edges)
+    assert all(c.size == 2 and c.threshold == 2 for c in red.communities)
+    # Copy counts equal node degrees in the DkS graph.
+    from collections import Counter
+
+    degree = Counter()
+    for a, b in edges:
+        degree[a] += 1
+        degree[b] += 1
+    for original, copies in red.copies_of.items():
+        assert len(copies) == degree[original]

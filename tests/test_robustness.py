@@ -1,0 +1,168 @@
+"""Robustness / failure-injection tests.
+
+Degenerate-but-legal inputs the library must handle gracefully: zero
+probability edges everywhere, communities nobody can reach, a budget
+larger than the useful candidate set, impossible thresholds, pools with
+zero influenced samples, and weight extremes.
+"""
+
+import pytest
+
+from repro.communities.structure import Community, CommunityStructure
+from repro.core.bt import BT, MB
+from repro.core.framework import solve_imc
+from repro.core.maf import MAF
+from repro.core.ubg import UBG
+from repro.diffusion.simulator import community_benefit_monte_carlo
+from repro.graph.builders import from_edge_list
+from repro.graph.digraph import DiGraph
+from repro.sampling.pool import RICSamplePool
+from repro.sampling.ric import RICSampler
+
+
+@pytest.fixture
+def dead_graph():
+    """Every edge has probability 0: no influence ever spreads."""
+    g = from_edge_list(6, [(i, (i + 1) % 6, 0.0) for i in range(6)])
+    return g
+
+
+@pytest.fixture
+def dead_communities():
+    return CommunityStructure(
+        [
+            Community(members=(0, 1), threshold=2, benefit=1.0),
+            Community(members=(2, 3), threshold=2, benefit=1.0),
+        ]
+    )
+
+
+def test_zero_probability_graph_samples_are_members_only(
+    dead_graph, dead_communities
+):
+    sampler = RICSampler(dead_graph, dead_communities, seed=1)
+    for _ in range(20):
+        sample = sampler.sample()
+        for member, reach in zip(sample.members, sample.reach_sets):
+            assert reach == frozenset({member})
+
+
+def test_solvers_on_dead_graph_pick_members(dead_graph, dead_communities):
+    pool = RICSamplePool(RICSampler(dead_graph, dead_communities, seed=2))
+    pool.grow(100)
+    for solver in (UBG(), MAF(seed=1), BT(), MB(seed=1)):
+        result = solver.solve(pool, 2)
+        # With k=2 the best possible is seeding one full community.
+        assert result.objective == pytest.approx(
+            pool.estimate_benefit(result.seeds)
+        )
+        assert len(result.seeds) <= 2
+
+
+def test_imcaf_on_dead_graph_terminates(dead_graph, dead_communities):
+    result = solve_imc(
+        dead_graph,
+        dead_communities,
+        k=2,
+        solver=MAF(seed=1),
+        seed=3,
+        max_samples=1000,
+    )
+    assert result.stopped_by in ("estimate", "psi", "max_samples")
+    benefit = community_benefit_monte_carlo(
+        dead_graph, dead_communities, result.selection.seeds, num_trials=200, seed=4
+    )
+    # Seeding both members of one community earns exactly that benefit.
+    assert benefit in (0.0, 1.0)
+
+
+def test_unreachable_community():
+    """A community with no in-edges at all: only self-seeding works."""
+    g = from_edge_list(4, [(0, 1, 0.9)])
+    communities = CommunityStructure(
+        [Community(members=(2, 3), threshold=2, benefit=5.0)]
+    )
+    pool = RICSamplePool(RICSampler(g, communities, seed=5))
+    pool.grow(50)
+    result = UBG().solve(pool, 2)
+    assert set(result.seeds) == {2, 3}
+    assert result.objective == pytest.approx(5.0)
+
+
+def test_budget_exceeding_candidates():
+    """k much larger than the touching-node set: solvers return fewer
+    seeds without error."""
+    g = DiGraph(20)
+    communities = CommunityStructure(
+        [Community(members=(0,), threshold=1, benefit=1.0)]
+    )
+    pool = RICSamplePool(RICSampler(g, communities, seed=6))
+    pool.grow(30)
+    result = UBG().solve(pool, 15)
+    assert len(result.seeds) <= 15
+    assert result.objective == pytest.approx(1.0)
+
+
+def test_all_weight_one_graph():
+    """Deterministic graph: every sample reaches everything upstream."""
+    g = from_edge_list(5, [(i, i + 1, 1.0) for i in range(4)])
+    communities = CommunityStructure(
+        [Community(members=(4,), threshold=1, benefit=1.0)]
+    )
+    sampler = RICSampler(g, communities, seed=7)
+    sample = sampler.sample()
+    assert sample.reach_sets[0] == frozenset({0, 1, 2, 3, 4})
+
+
+def test_single_node_graph():
+    g = DiGraph(1)
+    communities = CommunityStructure(
+        [Community(members=(0,), threshold=1, benefit=2.0)]
+    )
+    result = solve_imc(
+        g, communities, k=1, solver=MAF(seed=1), seed=8, max_samples=500
+    )
+    assert result.selection.seeds == (0,)
+    assert result.selection.objective == pytest.approx(2.0)
+
+
+def test_extremely_skewed_benefits():
+    """One community carries ~all the benefit: rho sampling must still
+    occasionally pick the tiny one and solvers must not crash."""
+    g = DiGraph(4)
+    communities = CommunityStructure(
+        [
+            Community(members=(0, 1), threshold=1, benefit=1e6),
+            Community(members=(2,), threshold=1, benefit=1e-6),
+        ]
+    )
+    pool = RICSamplePool(RICSampler(g, communities, seed=9))
+    pool.grow(200)
+    result = UBG().solve(pool, 1)
+    assert result.seeds[0] in (0, 1)
+
+
+def test_community_covering_whole_graph():
+    g = from_edge_list(4, [(0, 1, 0.5), (2, 3, 0.5)])
+    communities = CommunityStructure(
+        [Community(members=(0, 1, 2, 3), threshold=4, benefit=1.0)]
+    )
+    pool = RICSamplePool(RICSampler(g, communities, seed=10))
+    pool.grow(100)
+    result = BT(threshold_bound=4, candidate_limit=4).solve(pool, 4)
+    # Seeding all four nodes influences every sample.
+    assert pool.influenced_count(result.seeds) == 100
+
+
+def test_pool_with_zero_influenceable_samples():
+    """Thresholds unreachable for tiny k: greedy still returns seeds by
+    fractional progress; the objective is simply 0."""
+    g = DiGraph(6)
+    communities = CommunityStructure(
+        [Community(members=(0, 1, 2, 3), threshold=4, benefit=1.0)]
+    )
+    pool = RICSamplePool(RICSampler(g, communities, seed=11))
+    pool.grow(40)
+    result = UBG(run_c_greedy=True).solve(pool, 2)
+    assert result.objective == 0.0
+    assert len(result.seeds) == 2  # fractional tie-break keeps it moving

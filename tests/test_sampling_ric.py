@@ -1,0 +1,186 @@
+"""RIC sampling tests (Algorithm 1), including unbiasedness (Lemma 1)."""
+
+import pytest
+
+from repro.communities.structure import Community, CommunityStructure
+from repro.diffusion.simulator import community_benefit_exact
+from repro.errors import SamplingError
+from repro.graph.builders import from_edge_list
+from repro.rng import make_rng
+from repro.sampling.ric import RICSample, RICSampler
+
+
+@pytest.fixture
+def small_instance():
+    """4-node graph: 0 -> 2, 1 -> 3, 2 -> 3; community {2, 3}, h=2."""
+    graph = from_edge_list(4, [(0, 2, 0.5), (1, 3, 0.5), (2, 3, 0.5)])
+    communities = CommunityStructure(
+        [Community(members=(2, 3), threshold=2, benefit=1.0)]
+    )
+    return graph, communities
+
+
+# -------------------------------------------------------------- RICSample
+
+
+def test_ric_sample_validation():
+    with pytest.raises(SamplingError):
+        RICSample(0, 1, members=(1, 2), reach_sets=(frozenset({1}),))
+    with pytest.raises(SamplingError):
+        RICSample(0, 3, members=(1, 2), reach_sets=(frozenset(), frozenset()))
+
+
+def test_ric_sample_covered_and_influenced():
+    sample = RICSample(
+        community_index=0,
+        threshold=2,
+        members=(10, 11),
+        reach_sets=(frozenset({10, 1}), frozenset({11, 2})),
+    )
+    assert sample.covered_members([1]) == 1
+    assert sample.covered_members([1, 2]) == 2
+    assert not sample.is_influenced_by([1])
+    assert sample.is_influenced_by([1, 2])
+    assert sample.is_influenced_by([10, 11])
+    assert not sample.is_influenced_by([])
+
+
+def test_ric_sample_touched_nodes():
+    sample = RICSample(
+        community_index=0,
+        threshold=1,
+        members=(5,),
+        reach_sets=(frozenset({5, 7, 9}),),
+    )
+    assert sample.touched_nodes() == {5, 7, 9}
+
+
+# -------------------------------------------------------------- sampler
+
+
+def test_member_always_in_own_reach_set(small_instance):
+    graph, communities = small_instance
+    sampler = RICSampler(graph, communities, seed=1)
+    for _ in range(20):
+        sample = sampler.sample()
+        for member, reach in zip(sample.members, sample.reach_sets):
+            assert member in reach
+
+
+def test_reach_sets_only_contain_reverse_reachable_nodes(small_instance):
+    graph, communities = small_instance
+    sampler = RICSampler(graph, communities, seed=2)
+    # Structurally, only {0, 2} can ever reach 2, and {0, 1, 2, 3} can reach 3.
+    for _ in range(50):
+        sample = sampler.sample()
+        reach_2 = sample.reach_sets[sample.members.index(2)]
+        reach_3 = sample.reach_sets[sample.members.index(3)]
+        assert reach_2 <= {0, 2}
+        assert reach_3 <= {0, 1, 2, 3}
+
+
+def test_forced_source_community(small_instance):
+    graph, communities = small_instance
+    sampler = RICSampler(graph, communities, seed=3)
+    sample = sampler.sample(community_index=0)
+    assert sample.community_index == 0
+    assert sample.threshold == communities[0].threshold
+    assert sample.members == communities[0].members
+
+
+def test_source_distribution_follows_benefits():
+    graph = from_edge_list(4, [])
+    communities = CommunityStructure(
+        [
+            Community(members=(0,), threshold=1, benefit=3.0),
+            Community(members=(1,), threshold=1, benefit=1.0),
+        ]
+    )
+    sampler = RICSampler(graph, communities, seed=4)
+    counts = [0, 0]
+    trials = 20_000
+    for _ in range(trials):
+        counts[sampler.sample().community_index] += 1
+    assert counts[0] / trials == pytest.approx(0.75, abs=0.02)
+
+
+def test_edge_memoization_consistency():
+    """A shared edge must have ONE realisation per sample: reach sets of
+    different members never disagree about the same edge."""
+    # 0 -> 1 and 0 -> 2; community {1, 2}. If 0 in R(1) it's because edge
+    # (0,1) realised — independent of (0,2). Build a diamond where the
+    # same edge feeds both members: 3 -> 0, 0 -> 1, 0 -> 2.
+    graph = from_edge_list(4, [(3, 0, 0.5), (0, 1, 0.5), (0, 2, 0.5)])
+    communities = CommunityStructure(
+        [Community(members=(1, 2), threshold=1, benefit=1.0)]
+    )
+    sampler = RICSampler(graph, communities, seed=5)
+    for _ in range(200):
+        sample = sampler.sample()
+        reach_1, reach_2 = sample.reach_sets
+        # If 0 reaches both members, the (3,0) coin is shared: node 3
+        # must appear in both reach sets or in neither.
+        if 0 in reach_1 and 0 in reach_2:
+            assert (3 in reach_1) == (3 in reach_2)
+
+
+def test_unbiasedness_lemma1(small_instance):
+    """Lemma 1: c(S) = b * E[X_g(S)], validated against exact enumeration."""
+    graph, communities = small_instance
+    sampler = RICSampler(graph, communities, seed=6)
+    trials = 30_000
+    for seeds in ([0, 1], [2], [1, 2], [0, 1, 2]):
+        exact = community_benefit_exact(graph, communities, seeds)
+        hits = sum(
+            sampler.sample().is_influenced_by(seeds) for _ in range(trials)
+        )
+        estimate = communities.total_benefit * hits / trials
+        assert estimate == pytest.approx(exact, abs=0.015), seeds
+
+
+def test_unbiasedness_multiple_communities():
+    graph = from_edge_list(
+        5, [(0, 1, 0.4), (0, 2, 0.6), (3, 4, 0.5)]
+    )
+    communities = CommunityStructure(
+        [
+            Community(members=(1, 2), threshold=1, benefit=2.0),
+            Community(members=(4,), threshold=1, benefit=1.0),
+        ]
+    )
+    sampler = RICSampler(graph, communities, seed=7)
+    trials = 40_000
+    for seeds in ([0], [3], [0, 3]):
+        exact = community_benefit_exact(graph, communities, seeds)
+        hits = sum(
+            sampler.sample().is_influenced_by(seeds) for _ in range(trials)
+        )
+        estimate = communities.total_benefit * hits / trials
+        assert estimate == pytest.approx(exact, abs=0.03), seeds
+
+
+def test_sample_many(small_instance):
+    graph, communities = small_instance
+    sampler = RICSampler(graph, communities, seed=8)
+    samples = sampler.sample_many(25)
+    assert len(samples) == 25
+    with pytest.raises(SamplingError):
+        sampler.sample_many(-1)
+
+
+def test_sampler_validates_community_node_ids():
+    graph = from_edge_list(2, [(0, 1, 0.5)])
+    communities = CommunityStructure(
+        [Community(members=(5,), threshold=1, benefit=1.0)]
+    )
+    from repro.errors import CommunityError
+
+    with pytest.raises(CommunityError):
+        RICSampler(graph, communities, seed=1)
+
+
+def test_sampler_deterministic_with_seed(small_instance):
+    graph, communities = small_instance
+    a = RICSampler(graph, communities, seed=11).sample_many(10)
+    b = RICSampler(graph, communities, seed=11).sample_many(10)
+    assert a == b

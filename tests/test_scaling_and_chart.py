@@ -1,0 +1,45 @@
+"""Scaling-study driver and ascii_chart tests."""
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.reporting import ascii_chart
+from repro.experiments.scaling import ScalePoint, scaling_study
+
+
+def test_ascii_chart_basic():
+    chart = ascii_chart(["a", "bb"], [1.0, 2.0], width=10)
+    lines = chart.splitlines()
+    assert len(lines) == 2
+    assert lines[1].count("█") == 10  # max value fills the width
+    assert lines[0].count("█") == 5
+    assert "2.000" in lines[1]
+
+
+def test_ascii_chart_zero_values():
+    chart = ascii_chart(["x", "y"], [0.0, 0.0])
+    assert "(empty chart)" not in chart
+    assert "█" not in chart
+
+
+def test_ascii_chart_empty():
+    assert ascii_chart([], []) == "(empty chart)"
+
+
+def test_ascii_chart_validation():
+    with pytest.raises(ValueError):
+        ascii_chart(["a"], [1.0, 2.0])
+    with pytest.raises(ValueError):
+        ascii_chart(["a"], [-1.0])
+
+
+def test_scaling_study_points():
+    config = ExperimentConfig(
+        dataset="facebook", scale=0.1, pool_size=100, eval_trials=40, seed=3
+    )
+    points = scaling_study(config, scales=(0.06, 0.12), k=4)
+    assert len(points) == 2
+    assert all(isinstance(p, ScalePoint) for p in points)
+    assert points[0].num_nodes < points[1].num_nodes
+    assert all(p.sampling_seconds >= 0 for p in points)
+    assert all(p.ubg_benefit >= 0 and p.maf_benefit >= 0 for p in points)

@@ -1,0 +1,97 @@
+"""IMM-style one-shot sample budgeting tests."""
+
+import pytest
+
+from repro.communities.structure import Community, CommunityStructure
+from repro.core.framework import solve_imc
+from repro.core.maf import MAF
+from repro.core.static_bound import StaticIMCResult, solve_imc_static
+from repro.core.ubg import UBG
+from repro.diffusion.simulator import community_benefit_monte_carlo
+from repro.errors import SolverError
+from repro.graph.generators import planted_partition_graph
+from repro.graph.weights import assign_weighted_cascade
+
+
+@pytest.fixture(scope="module")
+def instance():
+    graph, blocks = planted_partition_graph(
+        [5] * 6, p_in=0.6, p_out=0.04, directed=True, seed=41
+    )
+    assign_weighted_cascade(graph)
+    communities = CommunityStructure(
+        [
+            Community(members=tuple(b), threshold=2, benefit=float(len(b)))
+            for b in blocks
+        ]
+    )
+    return graph, communities
+
+
+def test_returns_valid_result(instance):
+    graph, communities = instance
+    result = solve_imc_static(
+        graph, communities, k=4, solver=UBG(), seed=1, max_samples=6000
+    )
+    assert isinstance(result, StaticIMCResult)
+    assert 1 <= len(result.selection.seeds) <= 4
+    assert result.num_samples >= 1
+    assert result.guesses_tried >= 1
+    assert 0 < result.lower_bound <= communities.total_benefit
+
+
+def test_lower_bound_sane_vs_actual_benefit(instance):
+    """The data-driven LB never exceeds the achieved benefit by much."""
+    graph, communities = instance
+    result = solve_imc_static(
+        graph, communities, k=6, solver=UBG(), seed=2, max_samples=8000
+    )
+    achieved = community_benefit_monte_carlo(
+        graph, communities, result.selection.seeds, num_trials=2000, seed=3
+    )
+    assert result.lower_bound <= achieved * 1.5 + 1e-9
+
+
+def test_quality_comparable_to_imcaf(instance):
+    graph, communities = instance
+    static = solve_imc_static(
+        graph, communities, k=5, solver=MAF(seed=9), seed=4, max_samples=6000
+    )
+    dynamic = solve_imc(
+        graph, communities, k=5, solver=MAF(seed=9), seed=4, max_samples=6000
+    )
+    static_benefit = community_benefit_monte_carlo(
+        graph, communities, static.selection.seeds, num_trials=1500, seed=5
+    )
+    dynamic_benefit = community_benefit_monte_carlo(
+        graph, communities, dynamic.selection.seeds, num_trials=1500, seed=5
+    )
+    assert static_benefit >= 0.8 * dynamic_benefit
+
+
+def test_respects_max_samples(instance):
+    graph, communities = instance
+    result = solve_imc_static(
+        graph, communities, k=3, solver=MAF(seed=1), seed=6, max_samples=500
+    )
+    assert result.num_samples <= 500
+
+
+def test_validates_arguments(instance):
+    graph, communities = instance
+    with pytest.raises(SolverError):
+        solve_imc_static(graph, communities, k=0, solver=UBG())
+    with pytest.raises(SolverError):
+        solve_imc_static(graph, communities, k=2, solver=UBG(), epsilon=0.0)
+
+
+def test_deterministic_given_seed(instance):
+    graph, communities = instance
+    a = solve_imc_static(
+        graph, communities, k=3, solver=MAF(seed=2), seed=11, max_samples=2000
+    )
+    b = solve_imc_static(
+        graph, communities, k=3, solver=MAF(seed=2), seed=11, max_samples=2000
+    )
+    assert a.selection.seeds == b.selection.seeds
+    assert a.num_samples == b.num_samples

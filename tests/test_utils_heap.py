@@ -1,0 +1,93 @@
+"""LazyMaxHeap unit tests."""
+
+import pytest
+
+from repro.utils.heap import LazyMaxHeap
+
+
+def test_push_pop_max_order():
+    heap = LazyMaxHeap()
+    for item, priority in [("a", 1.0), ("b", 3.0), ("c", 2.0)]:
+        heap.push(item, priority)
+    assert heap.pop_max() == ("b", 3.0)
+    assert heap.pop_max() == ("c", 2.0)
+    assert heap.pop_max() == ("a", 1.0)
+
+
+def test_pop_empty_raises():
+    heap = LazyMaxHeap()
+    with pytest.raises(IndexError):
+        heap.pop_max()
+
+
+def test_peek_does_not_remove():
+    heap = LazyMaxHeap()
+    heap.push("x", 5.0)
+    assert heap.peek_max() == ("x", 5.0)
+    assert len(heap) == 1
+    assert heap.pop_max() == ("x", 5.0)
+
+
+def test_peek_empty_raises():
+    with pytest.raises(IndexError):
+        LazyMaxHeap().peek_max()
+
+
+def test_repush_supersedes_old_entry():
+    heap = LazyMaxHeap()
+    heap.push("a", 10.0)
+    heap.push("b", 5.0)
+    heap.push("a", 1.0)  # demote a
+    assert len(heap) == 2
+    assert heap.pop_max() == ("b", 5.0)
+    assert heap.pop_max() == ("a", 1.0)
+
+
+def test_discard_removes_item():
+    heap = LazyMaxHeap()
+    heap.push("a", 2.0)
+    heap.push("b", 1.0)
+    heap.discard("a")
+    assert "a" not in heap
+    assert heap.pop_max() == ("b", 1.0)
+    assert not heap
+
+
+def test_discard_missing_is_noop():
+    heap = LazyMaxHeap()
+    heap.push("a", 1.0)
+    heap.discard("zzz")
+    assert len(heap) == 1
+
+
+def test_contains_and_len():
+    heap = LazyMaxHeap()
+    assert not heap
+    heap.push(1, 1.0)
+    heap.push(2, 2.0)
+    assert 1 in heap and 2 in heap and 3 not in heap
+    assert len(heap) == 2
+
+
+def test_priority_of():
+    heap = LazyMaxHeap()
+    heap.push("a", 4.0)
+    heap.push("a", 7.0)
+    assert heap.priority_of("a") == 7.0
+    assert heap.priority_of("missing") is None
+
+
+def test_items_iterates_live_only():
+    heap = LazyMaxHeap()
+    heap.push("a", 1.0)
+    heap.push("b", 2.0)
+    heap.discard("a")
+    assert sorted(heap.items()) == ["b"]
+
+
+def test_equal_priorities_all_retrievable():
+    heap = LazyMaxHeap()
+    for item in ["x", "y", "z"]:
+        heap.push(item, 1.0)
+    popped = {heap.pop_max()[0] for _ in range(3)}
+    assert popped == {"x", "y", "z"}

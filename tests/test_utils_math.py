@@ -1,0 +1,62 @@
+"""Math helper tests."""
+
+import math
+
+import pytest
+
+from repro.utils.math import (
+    clamp,
+    harmonic_number,
+    log_binomial,
+    log_n_choose_k,
+    mean,
+)
+
+
+def test_log_binomial_small_exact():
+    assert math.isclose(log_binomial(5, 2), math.log(10))
+    assert math.isclose(log_binomial(10, 3), math.log(120))
+
+
+def test_log_binomial_edges():
+    assert log_binomial(7, 0) == 0.0
+    assert log_binomial(7, 7) == 0.0
+    assert log_binomial(3, 5) == float("-inf")
+    assert log_binomial(3, -1) == float("-inf")
+
+
+def test_log_binomial_symmetry():
+    assert math.isclose(log_binomial(100, 30), log_binomial(100, 70))
+
+
+def test_log_binomial_huge_values_finite():
+    value = log_binomial(10**6, 100)
+    assert math.isfinite(value) and value > 0
+
+
+def test_log_n_choose_k_alias():
+    assert log_n_choose_k(20, 5) == log_binomial(20, 5)
+
+
+def test_harmonic_number_small():
+    assert harmonic_number(0) == 0.0
+    assert math.isclose(harmonic_number(1), 1.0)
+    assert math.isclose(harmonic_number(4), 1 + 0.5 + 1 / 3 + 0.25)
+
+
+def test_harmonic_number_asymptotic_matches_direct():
+    direct = sum(1.0 / i for i in range(1, 1001))
+    assert math.isclose(harmonic_number(1000), direct, rel_tol=1e-9)
+
+
+def test_clamp():
+    assert clamp(5, 0, 3) == 3
+    assert clamp(-1, 0, 3) == 0
+    assert clamp(2, 0, 3) == 2
+
+
+def test_mean():
+    assert mean([1, 2, 3]) == 2.0
+    assert mean(iter([4.0])) == 4.0
+    with pytest.raises(ValueError):
+        mean([])

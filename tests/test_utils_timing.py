@@ -1,0 +1,38 @@
+"""Stopwatch tests."""
+
+import time
+
+import pytest
+
+from repro.utils.timing import Stopwatch
+
+
+def test_context_manager_measures_elapsed():
+    with Stopwatch() as sw:
+        time.sleep(0.01)
+    assert sw.elapsed >= 0.009
+    assert not sw.running
+
+
+def test_stop_before_start_raises():
+    sw = Stopwatch()
+    with pytest.raises(RuntimeError):
+        sw.stop()
+
+
+def test_manual_start_stop():
+    sw = Stopwatch()
+    sw.start()
+    assert sw.running
+    elapsed = sw.stop()
+    assert elapsed == sw.elapsed >= 0.0
+
+
+def test_restart_overwrites_elapsed():
+    sw = Stopwatch()
+    with sw:
+        time.sleep(0.01)
+    first = sw.elapsed
+    with sw:
+        pass
+    assert sw.elapsed <= first

@@ -1,0 +1,68 @@
+"""Validation helper tests."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.utils.validation import (
+    check_fraction,
+    check_node,
+    check_positive,
+    check_probability,
+    check_seed_budget,
+)
+
+
+def test_check_probability_accepts_bounds():
+    assert check_probability(0.0, "p") == 0.0
+    assert check_probability(1.0, "p") == 1.0
+    assert check_probability(0.5, "p") == 0.5
+
+
+@pytest.mark.parametrize("value", [-0.1, 1.1, 2.0])
+def test_check_probability_rejects(value):
+    with pytest.raises(ValueError, match="p must be"):
+        check_probability(value, "p")
+
+
+def test_check_fraction_open_interval():
+    assert check_fraction(0.5, "eps") == 0.5
+    for bad in (0.0, 1.0, -0.2, 1.5):
+        with pytest.raises(ValueError):
+            check_fraction(bad, "eps")
+
+
+def test_check_positive():
+    assert check_positive(3, "k") == 3
+    for bad in (0, -1):
+        with pytest.raises(ValueError):
+            check_positive(bad, "k")
+
+
+def test_check_node_valid():
+    assert check_node(0, 5) == 0
+    assert check_node(4, 5) == 4
+
+
+def test_check_node_rejects_out_of_range_and_non_int():
+    with pytest.raises(ValueError):
+        check_node(5, 5)
+    with pytest.raises(ValueError):
+        check_node(-1, 5)
+    with pytest.raises(ValueError):
+        check_node(1.5, 5)
+    with pytest.raises(ValueError):
+        check_node(True, 5)  # bools are not node ids
+
+
+def test_check_node_custom_exception():
+    with pytest.raises(GraphError):
+        check_node(9, 3, GraphError)
+
+
+def test_check_seed_budget():
+    assert check_seed_budget(1, 10) == 1
+    assert check_seed_budget(10, 10) == 10
+    with pytest.raises(ValueError):
+        check_seed_budget(0, 10)
+    with pytest.raises(ValueError):
+        check_seed_budget(11, 10)
