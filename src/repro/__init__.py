@@ -101,7 +101,13 @@ from repro.graph import (
     write_edge_list,
 )
 from repro.im import celf_im, ris_im
-from repro.sampling import RICSample, RICSamplePool, RICSampler, RRSampler
+from repro.sampling import (
+    ParallelRICSampler,
+    RICSample,
+    RICSamplePool,
+    RICSampler,
+    RRSampler,
+)
 
 __version__ = "1.0.0"
 
@@ -145,6 +151,7 @@ __all__ = [
     # sampling
     "RICSample",
     "RICSampler",
+    "ParallelRICSampler",
     "RICSamplePool",
     "RRSampler",
     # core

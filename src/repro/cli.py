@@ -78,6 +78,18 @@ def _build_parser() -> argparse.ArgumentParser:
     solve.add_argument("--max-samples", type=int, default=20_000)
     solve.add_argument("--model", default="ic", choices=["ic", "lt"])
     solve.add_argument(
+        "--engine",
+        default="serial",
+        choices=["serial", "parallel"],
+        help="RIC sampling engine (parallel fans batches out to workers)",
+    )
+    solve.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes for --engine parallel (default: all cores)",
+    )
+    solve.add_argument(
         "--eval-trials",
         type=int,
         default=500,
@@ -184,6 +196,12 @@ def _cmd_solve(args) -> int:
         f"h_max={communities.max_threshold}"
     )
     solver = _make_solver(args.solver, derive_seed(args.seed, "solver"))
+    profiles: List[dict] = []
+
+    def _collect_profile(info: dict) -> None:
+        if info.get("sampling_profile"):
+            profiles.append(info["sampling_profile"])
+
     result = solve_imc(
         graph,
         communities,
@@ -194,8 +212,20 @@ def _cmd_solve(args) -> int:
         seed=args.seed,
         max_samples=args.max_samples,
         model=args.model,
+        engine=args.engine,
+        workers=args.workers,
+        progress=_collect_profile,
     )
     print(f"seeds: {sorted(result.selection.seeds)}")
+    if profiles:
+        last = profiles[-1]
+        util = last["worker_utilization"]
+        print(
+            f"sampling: {last['mode']} engine, "
+            f"{last['samples_per_sec']:.0f} samples/s, "
+            f"{last['workers']} workers, batch={last['batch_size']}"
+            + (f", utilization={util:.0%}" if util is not None else "")
+        )
     print(
         f"stopped_by={result.stopped_by} samples={result.num_samples} "
         f"iterations={result.iterations} alpha={result.alpha:.4f}"

@@ -33,8 +33,11 @@ class BitsetCoverage:
     """Incremental ĉ/ν coverage over a pool, bitset-backed.
 
     The public surface mirrors :class:`~repro.core.objective.CoverageState`:
-    ``add_seed``, ``gain_influenced``, ``gain_fractional``, ``gain_pair``
-    and the two estimate accessors.
+    ``add_seed``, ``gain_influenced``, ``gain_fractional``, ``gain_pair``,
+    ``resync`` and the two estimate accessors. Like the reference engine,
+    it snapshots the pool's sample count at construction and fails fast
+    (``SolverError``) when the pool has grown, until :meth:`resync` packs
+    the new samples' masks in.
     """
 
     def __init__(self, pool: RICSamplePool) -> None:
@@ -54,6 +57,44 @@ class BitsetCoverage:
         self._seed_set = set()
         self._influenced = 0
         self._fractional = 0.0
+        self._synced_samples = len(samples)
+
+    def _check_sync(self) -> None:
+        """Fail fast when the pool grew since this engine last synced."""
+        if len(self.pool.samples) != self._synced_samples:
+            raise SolverError(
+                f"pool grew from {self._synced_samples} to "
+                f"{len(self.pool.samples)} samples since this bitset "
+                "engine was built; call resync() or rebuild the engine"
+            )
+
+    def resync(self) -> None:
+        """Incorporate samples added to the pool since the last sync.
+
+        Packs member masks for the new sample indices and replays the
+        current seed set against the new suffix only.
+        """
+        samples = self.pool.samples
+        old = self._synced_samples
+        if len(samples) == old:
+            return
+        grown = len(samples) - old
+        self._thresholds.extend(s.threshold for s in samples[old:])
+        self._covered_mask.extend([0] * grown)
+        self._covered_count.extend([0] * grown)
+        for offset, sample in enumerate(samples[old:]):
+            sample_idx = old + offset
+            for member_idx, reach in enumerate(sample.reach_sets):
+                bit = 1 << member_idx
+                for node in reach:
+                    masks = self._node_masks.setdefault(node, {})
+                    masks[sample_idx] = masks.get(sample_idx, 0) | bit
+        self._synced_samples = len(samples)
+        for node in self.seeds:
+            for sample_idx, mask in self._node_masks.get(node, {}).items():
+                if sample_idx < old:
+                    continue
+                self._apply_mask(sample_idx, mask)
 
     # -- accessors ------------------------------------------------------
 
@@ -69,43 +110,51 @@ class BitsetCoverage:
 
     def estimate_benefit(self) -> float:
         """``ĉ_R(S)`` for the current seed set."""
+        self._check_sync()
         if not self.pool.samples:
             return 0.0
         return self.pool.total_benefit * self._influenced / len(self.pool.samples)
 
     def estimate_upper_bound(self) -> float:
         """``ν_R(S)`` for the current seed set."""
+        self._check_sync()
         if not self.pool.samples:
             return 0.0
         return self.pool.total_benefit * self._fractional / len(self.pool.samples)
 
     # -- mutation -------------------------------------------------------
 
+    def _apply_mask(self, sample_idx: int, mask: int) -> None:
+        """Merge one seed's member mask for one sample into the state."""
+        new_bits = mask & ~self._covered_mask[sample_idx]
+        if not new_bits:
+            return
+        threshold = self._thresholds[sample_idx]
+        before = self._covered_count[sample_idx]
+        added = _popcount(new_bits)
+        self._covered_mask[sample_idx] |= new_bits
+        self._covered_count[sample_idx] = before + added
+        if before < threshold:
+            effective = min(before + added, threshold) - before
+            self._fractional += effective / threshold
+            if before + added >= threshold:
+                self._influenced += 1
+
     def add_seed(self, node: int) -> None:
         """Add ``node`` and update all masks/counters."""
+        self._check_sync()
         if node in self._seed_set:
             raise SolverError(f"node {node} is already a seed")
         self.seeds.append(node)
         self._seed_set.add(node)
         for sample_idx, mask in self._node_masks.get(node, {}).items():
-            new_bits = mask & ~self._covered_mask[sample_idx]
-            if not new_bits:
-                continue
-            threshold = self._thresholds[sample_idx]
-            before = self._covered_count[sample_idx]
-            added = _popcount(new_bits)
-            self._covered_mask[sample_idx] |= new_bits
-            self._covered_count[sample_idx] = before + added
-            if before < threshold:
-                effective = min(before + added, threshold) - before
-                self._fractional += effective / threshold
-                if before + added >= threshold:
-                    self._influenced += 1
+            self._apply_mask(sample_idx, mask)
 
     # -- marginals ------------------------------------------------------
 
     def gain_pair(self, node: int) -> Tuple[int, float]:
         """Marginal (ĉ, ν) gains of adding ``node``."""
+        self._check_sync()
         if node in self._seed_set:
             return 0, 0.0
         gain_c = 0

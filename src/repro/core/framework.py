@@ -32,6 +32,7 @@ from repro.diffusion.estimators import dagum_stopping_rule
 from repro.errors import SolverError
 from repro.graph.digraph import DiGraph
 from repro.rng import SeedLike, make_rng, spawn_rng
+from repro.sampling.parallel import ParallelRICSampler
 from repro.sampling.pool import RICSamplePool
 from repro.sampling.ric import RICSampler
 from repro.utils.math import log_binomial
@@ -207,6 +208,8 @@ def solve_imc(
     pool: Optional[RICSamplePool] = None,
     model: str = "ic",
     progress: Optional[Callable[[Dict[str, Any]], None]] = None,
+    engine: str = "serial",
+    workers: Optional[int] = None,
 ) -> IMCResult:
     """Solve IMC with the IMCAF framework (Algorithm 5).
 
@@ -219,22 +222,46 @@ def solve_imc(
 
     A pre-built ``pool`` may be supplied to share samples across calls
     (e.g. sweeping ``k`` on one dataset); it must wrap the same graph
-    and communities. ``model`` selects the diffusion model the RIC
-    samples realise: ``"ic"`` (the paper's) or ``"lt"`` (the extension
-    it sketches in Section II-A).
+    and communities (and then ``engine``/``workers`` are ignored — the
+    pool's own sampler is used). ``model`` selects the diffusion model
+    the RIC samples realise: ``"ic"`` (the paper's) or ``"lt"`` (the
+    extension it sketches in Section II-A).
+
+    ``engine`` selects the sampling engine: ``"serial"`` (one BFS at a
+    time) or ``"parallel"`` (process-pool fan-out over ``workers``
+    processes, default ``os.cpu_count()``). Both engines produce the
+    *identical* pool for a fixed ``seed``, so results are reproducible
+    across engines and worker counts.
 
     ``progress``, when given, is called once per stop stage with a dict
-    ``{stage, num_samples, coverage, objective, lambda, psi}`` — the
-    hook long-running callers use for logging/UI without the library
-    imposing a logging policy.
+    ``{stage, num_samples, coverage, objective, lambda, psi,
+    sampling_profile}`` — the hook long-running callers use for
+    logging/UI without the library imposing a logging policy.
+    ``sampling_profile`` carries the parallel engine's samples/sec,
+    batch sizes and worker utilisation (``None`` under the serial
+    engine).
     """
     check_seed_budget(k, graph.num_nodes, SolverError)
     communities.validate_against(graph.num_nodes)
-    rng = make_rng(seed)
-    if pool is None:
-        sampler = RICSampler(
-            graph, communities, seed=spawn_rng(rng), model=model
+    if engine not in ("serial", "parallel"):
+        raise SolverError(
+            f"engine must be 'serial' or 'parallel', got {engine!r}"
         )
+    rng = make_rng(seed)
+    owns_sampler = pool is None
+    if pool is None:
+        if engine == "parallel":
+            sampler = ParallelRICSampler(
+                graph,
+                communities,
+                seed=spawn_rng(rng),
+                model=model,
+                workers=workers,
+            )
+        else:
+            sampler = RICSampler(
+                graph, communities, seed=spawn_rng(rng), model=model
+            )
         pool = RICSamplePool(sampler)
     else:
         if pool.sampler.graph is not graph or pool.sampler.communities is not communities:
@@ -261,50 +288,65 @@ def solve_imc(
     cap = max(cap, lam)  # always allow at least the first stop stage
 
     eps_stage = epsilon / 4.0
-    pool.grow_to(math.ceil(lam))
     iterations = 0
     stopped_by = "max_iterations"
     benefit_estimate: Optional[float] = None
-    selection = solver.solve(pool, k)
+    try:
+        pool.grow_to(math.ceil(lam))
+        selection = solver.solve(pool, k)
 
-    while True:
-        iterations += 1
-        selection = solver.solve(pool, k) if iterations > 1 else selection
-        coverage = pool.influenced_count(selection.seeds)
-        if progress is not None:
-            progress(
-                {
-                    "stage": iterations,
-                    "num_samples": len(pool),
-                    "coverage": coverage,
-                    "objective": selection.objective,
-                    "lambda": lam,
-                    "psi": psi,
-                }
-            )
-        if coverage >= lam and selection.seeds:
-            # Line 9: δ' spreads δ/3 over the doubling stages.
-            stages = max(1.0, math.log2(max(psi / lam, 2.0)))
-            delta_stage = delta / (3.0 * stages)
-            t_max = math.ceil(
-                len(pool) * (1.0 + eps_stage) / (1.0 - eps_stage)
-            )
-            estimate = estimate_benefit(
-                estimate_sampler,
-                selection.seeds,
-                epsilon=eps_stage,
-                delta=min(delta_stage, 0.5),
-                max_trials=t_max,
-            )
-            if estimate.converged and estimate.value is not None:
-                benefit_estimate = estimate.value
-                if selection.objective <= (1.0 + eps_stage) * estimate.value:
-                    stopped_by = "estimate"
-                    break
-        if len(pool) >= cap:
-            stopped_by = "psi" if cap >= psi else "max_samples"
-            break
-        pool.grow(min(len(pool), math.ceil(cap) - len(pool)))
+        while True:
+            iterations += 1
+            # Explicit coverage-engine rebuild point: after each pool
+            # growth the solver MUST rebuild its engine on the grown
+            # pool — CoverageState / BitsetCoverage snapshot the sample
+            # count and fail fast if reused across a grow(). Calling
+            # solver.solve afresh per stage is that rebuild.
+            selection = solver.solve(pool, k) if iterations > 1 else selection
+            coverage = pool.influenced_count(selection.seeds)
+            if progress is not None:
+                progress(
+                    {
+                        "stage": iterations,
+                        "num_samples": len(pool),
+                        "coverage": coverage,
+                        "objective": selection.objective,
+                        "lambda": lam,
+                        "psi": psi,
+                        "sampling_profile": (
+                            sampler.last_profile()
+                            if hasattr(sampler, "last_profile")
+                            else None
+                        ),
+                    }
+                )
+            if coverage >= lam and selection.seeds:
+                # Line 9: δ' spreads δ/3 over the doubling stages.
+                stages = max(1.0, math.log2(max(psi / lam, 2.0)))
+                delta_stage = delta / (3.0 * stages)
+                t_max = math.ceil(
+                    len(pool) * (1.0 + eps_stage) / (1.0 - eps_stage)
+                )
+                estimate = estimate_benefit(
+                    estimate_sampler,
+                    selection.seeds,
+                    epsilon=eps_stage,
+                    delta=min(delta_stage, 0.5),
+                    max_trials=t_max,
+                )
+                if estimate.converged and estimate.value is not None:
+                    benefit_estimate = estimate.value
+                    if selection.objective <= (1.0 + eps_stage) * estimate.value:
+                        stopped_by = "estimate"
+                        break
+            if len(pool) >= cap:
+                stopped_by = "psi" if cap >= psi else "max_samples"
+                break
+            pool.grow(min(len(pool), math.ceil(cap) - len(pool)))
+    finally:
+        # Release worker processes when this call created the sampler.
+        if owns_sampler and hasattr(sampler, "close"):
+            sampler.close()
 
     return IMCResult(
         selection=selection,

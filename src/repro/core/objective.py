@@ -21,7 +21,15 @@ from repro.sampling.pool import RICSamplePool
 
 
 class CoverageState:
-    """Mutable coverage bookkeeping for greedy selection on a pool."""
+    """Mutable coverage bookkeeping for greedy selection on a pool.
+
+    The state snapshots the pool's sample count at construction. If the
+    pool later grows (IMCAF's doubling loop), a stale state would either
+    IndexError on new sample indices or silently ignore the new samples
+    in gains — so every accessor fails fast with :class:`SolverError`
+    until :meth:`resync` incorporates the growth (or a fresh state is
+    built, which is what IMCAF's per-stage ``solver.solve`` call does).
+    """
 
     def __init__(self, pool: RICSamplePool) -> None:
         self.pool = pool
@@ -31,6 +39,44 @@ class CoverageState:
         self._covered: List[Set[int]] = [set() for _ in pool.samples]
         self._influenced = 0
         self._fractional = 0.0
+        self._synced_samples = len(pool.samples)
+
+    def _check_sync(self) -> None:
+        """Fail fast when the pool grew since this state last synced."""
+        if len(self.pool.samples) != self._synced_samples:
+            raise SolverError(
+                f"pool grew from {self._synced_samples} to "
+                f"{len(self.pool.samples)} samples since this coverage "
+                "state was built; call resync() or rebuild the state"
+            )
+
+    def resync(self) -> None:
+        """Incorporate samples added to the pool since the last sync.
+
+        Extends the per-sample bookkeeping for the new indices and
+        replays the current seed set's coverage of the *new* samples
+        only — O(total coverage of the seeds in the new suffix).
+        """
+        samples = self.pool.samples
+        old = self._synced_samples
+        if len(samples) == old:
+            return
+        self._covered.extend(set() for _ in range(len(samples) - old))
+        self._synced_samples = len(samples)
+        for node in self.seeds:
+            for sample_idx, member_idx in self.pool.coverage_of(node):
+                if sample_idx < old:
+                    continue
+                covered = self._covered[sample_idx]
+                if member_idx in covered:
+                    continue
+                threshold = samples[sample_idx].threshold
+                before = len(covered)
+                covered.add(member_idx)
+                if before < threshold:
+                    self._fractional += 1.0 / threshold
+                    if before + 1 == threshold:
+                        self._influenced += 1
 
     # ------------------------------------------------------------------
     # Current objective values
@@ -48,6 +94,7 @@ class CoverageState:
 
     def estimate_benefit(self) -> float:
         """``ĉ_R(S)`` for the current seed set."""
+        self._check_sync()
         if not self.pool.samples:
             return 0.0
         return (
@@ -56,6 +103,7 @@ class CoverageState:
 
     def estimate_upper_bound(self) -> float:
         """``ν_R(S)`` for the current seed set."""
+        self._check_sync()
         if not self.pool.samples:
             return 0.0
         return (
@@ -68,6 +116,7 @@ class CoverageState:
 
     def add_seed(self, node: int) -> None:
         """Add ``node`` to the seed set and update all per-sample state."""
+        self._check_sync()
         if node in self._seed_set:
             raise SolverError(f"node {node} is already a seed")
         self.seeds.append(node)
@@ -99,6 +148,7 @@ class CoverageState:
 
     def gain_influenced(self, node: int) -> int:
         """Marginal ``Σ_g X_g`` gain of adding ``node`` (ĉ objective)."""
+        self._check_sync()
         if node in self._seed_set:
             return 0
         samples = self.pool.samples
@@ -112,6 +162,7 @@ class CoverageState:
 
     def gain_fractional(self, node: int) -> float:
         """Marginal ``Σ_g min(|I_g|/h_g, 1)`` gain of ``node`` (ν objective)."""
+        self._check_sync()
         if node in self._seed_set:
             return 0.0
         samples = self.pool.samples
@@ -125,6 +176,7 @@ class CoverageState:
 
     def gain_pair(self, node: int) -> Tuple[int, float]:
         """Both marginals in one pass (used by the ĉ greedy's tie-break)."""
+        self._check_sync()
         if node in self._seed_set:
             return 0, 0.0
         samples = self.pool.samples

@@ -37,6 +37,7 @@ from repro.errors import ExperimentError
 from repro.experiments.config import ExperimentConfig
 from repro.graph.digraph import DiGraph
 from repro.rng import derive_seed
+from repro.sampling.parallel import ParallelRICSampler
 from repro.sampling.pool import RICSamplePool
 from repro.sampling.ric import RICSampler
 from repro.utils.timing import Stopwatch
@@ -109,12 +110,22 @@ def make_pool(
     config: ExperimentConfig,
     size: Optional[int] = None,
 ) -> RICSamplePool:
-    """A RIC pool of ``size`` (default ``config.pool_size``) samples."""
-    sampler = RICSampler(
-        graph, communities, seed=derive_seed(config.seed, "ric-pool")
-    )
+    """A RIC pool of ``size`` (default ``config.pool_size``) samples.
+
+    ``config.engine`` selects serial or parallel generation; either way
+    the pool contents are identical for a fixed ``config.seed``.
+    """
+    seed = derive_seed(config.seed, "ric-pool")
+    if config.engine == "parallel":
+        sampler = ParallelRICSampler(
+            graph, communities, seed=seed, workers=config.workers
+        )
+    else:
+        sampler = RICSampler(graph, communities, seed=seed)
     pool = RICSamplePool(sampler)
     pool.grow(size if size is not None else config.pool_size)
+    if config.engine == "parallel":
+        sampler.close()
     return pool
 
 

@@ -31,13 +31,25 @@ def make_rng(seed: SeedLike = None) -> random.Random:
     return random.Random(seed)
 
 
+def spawn_seed(parent: random.Random) -> int:
+    """Draw a child-stream seed from ``parent``.
+
+    Consumes exactly one draw from the parent, so callers that only need
+    the *seed* (e.g. to ship to a worker process) advance the parent
+    stream identically to :func:`spawn_rng`. This is the contract the
+    parallel RIC sampler relies on for serial/parallel determinism.
+    """
+    return parent.randrange(_STREAM_PRIME)
+
+
 def spawn_rng(parent: random.Random) -> random.Random:
     """Derive a child stream from ``parent``.
 
-    The child's seed is drawn from the parent, which both advances the
-    parent deterministically and gives the child an independent stream.
+    The child's seed is drawn from the parent (via :func:`spawn_seed`),
+    which both advances the parent deterministically and gives the child
+    an independent stream.
     """
-    return random.Random(parent.randrange(_STREAM_PRIME))
+    return random.Random(spawn_seed(parent))
 
 
 def derive_seed(base: Optional[int], *components: Union[int, str]) -> Optional[int]:

@@ -1,0 +1,281 @@
+"""Process-pool RIC sampling engine.
+
+Serial RIC generation (:class:`~repro.sampling.ric.RICSampler`) runs one
+reverse BFS at a time on a single core, and it dominates the wall-clock
+of every solver in this package — IMCAF's exponential-doubling loop is
+essentially a sample-generation loop. This module fans batches of
+samples out to ``N`` worker processes while preserving *exact*
+determinism:
+
+1. The master draws one child-stream seed per sample from its RNG (via
+   :meth:`RICSampler.next_sample_seed`), in sample order — the same
+   master-stream consumption as serial generation.
+2. Child seeds are split into contiguous batches and shipped to workers;
+   each worker holds a fork/pickle copy of the (graph, communities)
+   instance and materialises each sample purely from its child seed.
+3. Workers return *compact tuples* (ints and tuples, not pickled
+   ``frozenset``-of-``frozenset`` objects) which the master expands back
+   into :class:`RICSample` objects in sample order.
+
+Because a RIC sample is a pure function of ``(instance, child seed)``
+and child seeds are drawn identically in both modes,
+``ParallelRICSampler(seed=s, workers=n).sample_many(c)`` equals
+``RICSampler(seed=s).sample_many(c)`` element-for-element, for every
+worker count ``n`` and batch size. The engine also records a sampling
+profile (samples/sec, batch sizes, worker utilisation) after each
+``sample_many`` call, surfaced by ``solve_imc``'s ``progress`` hook.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.communities.structure import CommunityStructure
+from repro.errors import SamplingError
+from repro.graph.digraph import DiGraph
+from repro.rng import SeedLike
+from repro.sampling.ric import RICSample, RICSampler
+
+#: Compact wire format for one sample:
+#: ``(community_index, threshold, members, reach_sets_as_sorted_tuples)``.
+CompactSample = Tuple[int, int, Tuple[int, ...], Tuple[Tuple[int, ...], ...]]
+
+
+def compact_sample(sample: RICSample) -> CompactSample:
+    """Flatten a :class:`RICSample` into the compact tuple wire format.
+
+    Reach sets are sorted so the encoding is canonical: two equal
+    samples always serialise to identical bytes.
+    """
+    return (
+        sample.community_index,
+        sample.threshold,
+        sample.members,
+        tuple(tuple(sorted(reach)) for reach in sample.reach_sets),
+    )
+
+
+def expand_sample(compact: CompactSample) -> RICSample:
+    """Rebuild a :class:`RICSample` from its compact tuple encoding."""
+    community_index, threshold, members, reach_tuples = compact
+    return RICSample(
+        community_index=community_index,
+        threshold=threshold,
+        members=tuple(members),
+        reach_sets=tuple(frozenset(reach) for reach in reach_tuples),
+    )
+
+
+# ----------------------------------------------------------------------
+# Worker-side state. Each worker process builds one template sampler at
+# pool start-up (initializer) and reuses it for every batch; the
+# template's own RNG stream is never used — every sample is generated
+# from an explicit child seed shipped with the batch.
+# ----------------------------------------------------------------------
+
+_WORKER_SAMPLER: Optional[RICSampler] = None
+
+
+def _init_worker(
+    graph: DiGraph, communities: CommunityStructure, model: str
+) -> None:
+    """Process-pool initializer: build this worker's template sampler."""
+    global _WORKER_SAMPLER
+    _WORKER_SAMPLER = RICSampler(graph, communities, seed=0, model=model)
+
+
+def _generate_batch(
+    task: Tuple[int, Sequence[int]]
+) -> Tuple[int, float, List[CompactSample]]:
+    """Generate one batch of samples from child seeds.
+
+    Returns ``(start_index, worker_seconds, compact_samples)`` so the
+    master can reassemble results in order and compute utilisation.
+    """
+    start, seeds = task
+    sampler = _WORKER_SAMPLER
+    if sampler is None:  # pragma: no cover - initializer always ran
+        raise SamplingError("parallel sampling worker was not initialised")
+    began = time.perf_counter()
+    out = [compact_sample(sampler.sample_from_seed(s)) for s in seeds]
+    return start, time.perf_counter() - began, out
+
+
+class ParallelRICSampler:
+    """Deterministic multi-process drop-in for :class:`RICSampler`.
+
+    Exposes the same ``graph`` / ``communities`` / ``model`` attributes
+    and the same ``sample`` / ``sample_many`` surface, so
+    :class:`~repro.sampling.pool.RICSamplePool` and ``solve_imc`` accept
+    it unchanged. ``sample_many`` fans out to a lazily created process
+    pool; single samples and small batches are generated inline (the
+    dispatch overhead would dwarf the work).
+
+    ``workers=None`` uses ``os.cpu_count()``. For any fixed ``seed`` the
+    produced sample sequence is identical across *all* worker counts and
+    batch sizes, and identical to the serial sampler's.
+
+    The instance owns OS processes: call :meth:`close` (or use it as a
+    context manager) when done; the executor is also shut down by
+    ``__del__`` as a safety net.
+    """
+
+    #: Below this many samples a ``sample_many`` call stays inline.
+    MIN_DISPATCH = 16
+
+    def __init__(
+        self,
+        graph: DiGraph,
+        communities: CommunityStructure,
+        seed: SeedLike = None,
+        model: str = "ic",
+        workers: Optional[int] = None,
+        batch_size: Optional[int] = None,
+    ) -> None:
+        if workers is not None and workers < 1:
+            raise SamplingError(f"workers must be >= 1, got {workers}")
+        if batch_size is not None and batch_size < 1:
+            raise SamplingError(f"batch_size must be >= 1, got {batch_size}")
+        self._serial = RICSampler(graph, communities, seed=seed, model=model)
+        self.workers = workers if workers is not None else (os.cpu_count() or 1)
+        self.batch_size = batch_size
+        self._executor: Optional[ProcessPoolExecutor] = None
+        self._profile: Optional[Dict[str, Any]] = None
+
+    # -- RICSampler-compatible surface ---------------------------------
+
+    @property
+    def graph(self) -> DiGraph:
+        """The sampled graph (shared with the serial template)."""
+        return self._serial.graph
+
+    @property
+    def communities(self) -> CommunityStructure:
+        """The community structure defining sources and thresholds."""
+        return self._serial.communities
+
+    @property
+    def model(self) -> str:
+        """Diffusion model the samples realise (``"ic"`` or ``"lt"``)."""
+        return self._serial.model
+
+    def sample(self, community_index: Optional[int] = None) -> RICSample:
+        """Generate one sample inline (no dispatch for single draws)."""
+        return self._serial.sample(community_index)
+
+    def sample_from_seed(
+        self, sample_seed: int, community_index: Optional[int] = None
+    ) -> RICSample:
+        """Materialise the sample determined by ``sample_seed`` inline."""
+        return self._serial.sample_from_seed(sample_seed, community_index)
+
+    def next_sample_seed(self) -> int:
+        """Advance the master stream and return the next child seed."""
+        return self._serial.next_sample_seed()
+
+    def sample_many(self, count: int) -> List[RICSample]:
+        """Generate ``count`` samples, fanning out to worker processes.
+
+        Identical output to ``RICSampler(seed).sample_many(count)`` —
+        the master pre-draws the child seed of every sample in order,
+        then only the (deterministic) materialisation is parallelised.
+        """
+        if count < 0:
+            raise SamplingError(f"count must be non-negative, got {count}")
+        if count == 0:
+            return []
+        began = time.perf_counter()
+        seeds = [self._serial.next_sample_seed() for _ in range(count)]
+        if self.workers <= 1 or count < self.MIN_DISPATCH:
+            samples = [self._serial.sample_from_seed(s) for s in seeds]
+            self._record_profile(
+                count, time.perf_counter() - began, mode="inline",
+                batches=1, batch_size=count, busy=None,
+            )
+            return samples
+        batch = self.batch_size or max(1, -(-count // (self.workers * 4)))
+        tasks = [
+            (start, seeds[start:start + batch])
+            for start in range(0, count, batch)
+        ]
+        executor = self._ensure_executor()
+        results = list(executor.map(_generate_batch, tasks))
+        results.sort(key=lambda item: item[0])
+        samples: List[RICSample] = []
+        busy = 0.0
+        for _, worker_seconds, compacts in results:
+            busy += worker_seconds
+            samples.extend(expand_sample(c) for c in compacts)
+        self._record_profile(
+            count, time.perf_counter() - began, mode="parallel",
+            batches=len(tasks), batch_size=batch, busy=busy,
+        )
+        return samples
+
+    # -- profile -------------------------------------------------------
+
+    def _record_profile(
+        self,
+        count: int,
+        elapsed: float,
+        mode: str,
+        batches: int,
+        batch_size: int,
+        busy: Optional[float],
+    ) -> None:
+        utilization = None
+        if busy is not None and elapsed > 0:
+            utilization = min(1.0, busy / (self.workers * elapsed))
+        self._profile = {
+            "mode": mode,
+            "samples": count,
+            "elapsed_seconds": elapsed,
+            "samples_per_sec": count / elapsed if elapsed > 0 else float("inf"),
+            "workers": self.workers,
+            "batches": batches,
+            "batch_size": batch_size,
+            "worker_utilization": utilization,
+        }
+
+    def last_profile(self) -> Optional[Dict[str, Any]]:
+        """Profile of the most recent ``sample_many`` call.
+
+        Keys: ``mode`` (``"parallel"`` or ``"inline"``), ``samples``,
+        ``elapsed_seconds``, ``samples_per_sec``, ``workers``,
+        ``batches``, ``batch_size`` and ``worker_utilization`` (fraction
+        of worker wall-clock spent generating; ``None`` inline).
+        ``None`` before the first call.
+        """
+        return self._profile
+
+    # -- lifecycle -----------------------------------------------------
+
+    def _ensure_executor(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.workers,
+                initializer=_init_worker,
+                initargs=(self.graph, self.communities, self.model),
+            )
+        return self._executor
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        if self._executor is not None:
+            self._executor.shutdown()
+            self._executor = None
+
+    def __enter__(self) -> "ParallelRICSampler":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing dependent
+        try:
+            self.close()
+        except Exception:
+            pass

@@ -29,6 +29,8 @@ class RICSamplePool:
     """
 
     def __init__(self, sampler: RICSampler) -> None:
+        # Any object with the RICSampler surface works, notably
+        # repro.sampling.parallel.ParallelRICSampler.
         self.sampler = sampler
         self.samples: List[RICSample] = []
         self._coverage: Dict[int, List[Tuple[int, int]]] = {}
@@ -58,12 +60,22 @@ class RICSamplePool:
             self._community_counts.get(sample.community_index, 0) + 1
         )
 
+    def add_many(self, samples: Iterable[RICSample]) -> None:
+        """Append a batch of samples, updating indexes incrementally."""
+        for sample in samples:
+            self.add(sample)
+
     def grow(self, count: int) -> None:
-        """Generate and add ``count`` fresh samples."""
+        """Generate and add ``count`` fresh samples.
+
+        Delegates generation to ``sampler.sample_many`` so batching
+        engines (:class:`~repro.sampling.parallel.ParallelRICSampler`)
+        fan the whole request out to their workers at once; the inverted
+        indexes are still updated incrementally per sample.
+        """
         if count < 0:
             raise SamplingError(f"count must be non-negative, got {count}")
-        for _ in range(count):
-            self.add(self.sampler.sample())
+        self.add_many(self.sampler.sample_many(count))
 
     def grow_to(self, target: int) -> None:
         """Grow the pool until it holds at least ``target`` samples."""

@@ -22,13 +22,40 @@ class LazyMaxHeap(Generic[T]):
 
     Each item has at most one *live* entry; pushing an item again simply
     supersedes the previous entry. Stale entries are discarded when they
-    surface at the top.
+    surface at the top, and — because long CELF runs re-push items far
+    more often than they pop — the heap also compacts itself whenever
+    stale entries outnumber live ones by more than 2×, bounding memory
+    at O(live) instead of O(total pushes).
     """
+
+    #: Compaction only kicks in above this heap size, so tiny heaps
+    #: never pay the rebuild cost.
+    COMPACT_MIN_SIZE = 64
 
     def __init__(self) -> None:
         self._heap: List[Tuple[float, int, T]] = []
         self._live: dict = {}
         self._counter = itertools.count()
+
+    def _maybe_compact(self) -> None:
+        """Rebuild the heap when stale entries exceed ~2× live entries.
+
+        Each live item has exactly one matching entry, so the stale
+        count is ``len(_heap) - len(_live)``. Compaction is O(heap) and
+        amortises to O(1) per operation: after a rebuild the heap holds
+        only live entries, so at least ``2 × live`` further pushes or
+        discards must happen before the next rebuild.
+        """
+        if len(self._heap) < self.COMPACT_MIN_SIZE:
+            return
+        stale = len(self._heap) - len(self._live)
+        if stale <= 2 * len(self._live):
+            return
+        self._heap = [
+            entry for entry in self._heap
+            if self._live.get(entry[2]) == entry[1]
+        ]
+        heapq.heapify(self._heap)
 
     def __len__(self) -> int:
         return len(self._live)
@@ -45,6 +72,7 @@ class LazyMaxHeap(Generic[T]):
         self._live[item] = count
         # heapq is a min-heap; negate priorities for max behaviour.
         heapq.heappush(self._heap, (-priority, count, item))
+        self._maybe_compact()
 
     def pop_max(self) -> Tuple[T, float]:
         """Remove and return ``(item, priority)`` with the largest priority.
@@ -70,6 +98,7 @@ class LazyMaxHeap(Generic[T]):
     def discard(self, item: T) -> None:
         """Remove ``item`` if present (lazily; no-op when absent)."""
         self._live.pop(item, None)
+        self._maybe_compact()
 
     def priority_of(self, item: T) -> Optional[float]:
         """Return the live priority of ``item`` or ``None`` when absent.

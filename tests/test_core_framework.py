@@ -247,7 +247,10 @@ def test_solve_imc_progress_callback(small_imc_instance):
             "objective",
             "lambda",
             "psi",
+            "sampling_profile",
         }
+        # Serial engine: no batching profile to report.
+        assert event["sampling_profile"] is None
     stages = [e["stage"] for e in events]
     assert stages == list(range(1, len(events) + 1))
     sizes = [e["num_samples"] for e in events]

@@ -45,23 +45,26 @@ def test_golden_planted_graph_shape(golden_instance):
 
 
 def test_golden_pool_statistics(golden_instance):
+    # Golden values refreshed when RIC sampling moved to per-sample
+    # child RNG streams (the scheme the parallel engine's determinism
+    # guarantee rests on); verified against the unbiasedness suite.
     _, _, pool = golden_instance
     assert len(pool) == 300
-    assert pool.community_counts() == {0: 58, 1: 53, 2: 67, 3: 53, 4: 69}
+    assert pool.community_counts() == {0: 62, 1: 64, 2: 68, 3: 54, 4: 52}
 
 
 def test_golden_ubg_seeds(golden_instance):
     _, _, pool = golden_instance
     result = UBG().solve(pool, 4)
-    assert result.seeds == (20, 4, 5, 14)
-    assert result.objective == pytest.approx(20.833333333, abs=1e-6)
+    assert result.seeds == (4, 22, 5, 11)
+    assert result.objective == pytest.approx(20.916666666, abs=1e-6)
 
 
 def test_golden_maf_seeds(golden_instance):
     _, _, pool = golden_instance
     result = MAF(seed=99).solve(pool, 4)
-    assert result.seeds == (23, 24, 11, 14)
-    assert result.objective == pytest.approx(13.5, abs=1e-6)
+    assert result.seeds == (4, 2, 22, 20)
+    assert result.objective == pytest.approx(16.916666666, abs=1e-6)
 
 
 def test_golden_dataset_fingerprint():

@@ -184,3 +184,90 @@ def test_sampler_deterministic_with_seed(small_instance):
     a = RICSampler(graph, communities, seed=11).sample_many(10)
     b = RICSampler(graph, communities, seed=11).sample_many(10)
     assert a == b
+
+
+# ------------------------------------------- zero-benefit source regression
+
+
+class _FixedRng:
+    """Stub RNG whose random() returns a fixed value (regression probe)."""
+
+    def __init__(self, value):
+        self.value = value
+
+    def random(self):
+        return self.value
+
+
+def test_zero_benefit_community_never_picked_at_draw_zero():
+    """rng.random() == 0.0 used to select a zero-benefit community whose
+    CDF entry duplicated its predecessor's; they are now excluded from
+    the cumulative table entirely."""
+    graph = from_edge_list(3, [])
+    communities = CommunityStructure(
+        [
+            Community(members=(0,), threshold=1, benefit=0.0),
+            Community(members=(1,), threshold=1, benefit=2.0),
+            Community(members=(2,), threshold=1, benefit=0.0),
+        ]
+    )
+    sampler = RICSampler(graph, communities, seed=1)
+    assert sampler._pick_source(_FixedRng(0.0)) == 1
+    # The boundary shared with a zero-benefit successor is also safe.
+    for value in (0.0, 0.25, 0.5, 0.999999):
+        assert sampler._pick_source(_FixedRng(value)) == 1
+
+
+def test_zero_benefit_interior_community_skipped():
+    graph = from_edge_list(4, [])
+    communities = CommunityStructure(
+        [
+            Community(members=(0,), threshold=1, benefit=1.0),
+            Community(members=(1,), threshold=1, benefit=0.0),
+            Community(members=(2,), threshold=1, benefit=1.0),
+            Community(members=(3,), threshold=1, benefit=2.0),
+        ]
+    )
+    sampler = RICSampler(graph, communities, seed=2)
+    picked = {sampler.sample().community_index for _ in range(2000)}
+    assert 1 not in picked
+    assert picked == {0, 2, 3}
+
+
+def test_all_zero_benefits_rejected():
+    graph = from_edge_list(2, [])
+    communities = CommunityStructure(
+        [
+            Community(members=(0,), threshold=1, benefit=0.0),
+            Community(members=(1,), threshold=1, benefit=0.0),
+        ]
+    )
+    from repro.errors import ReproError
+
+    with pytest.raises(ReproError):
+        RICSampler(graph, communities, seed=1)
+
+
+# ------------------------------------------- per-sample child streams
+
+
+def test_sample_from_seed_is_pure(small_instance):
+    graph, communities = small_instance
+    sampler = RICSampler(graph, communities, seed=17)
+    child = sampler.next_sample_seed()
+    first = sampler.sample_from_seed(child)
+    # Repeated materialisation is identical and does not advance the
+    # master stream.
+    assert sampler.sample_from_seed(child) == first
+    replay = RICSampler(graph, communities, seed=17)
+    assert replay.sample() == first
+
+
+def test_predrawn_seeds_replay_sample_many(small_instance):
+    graph, communities = small_instance
+    sampler = RICSampler(graph, communities, seed=29)
+    seeds = [sampler.next_sample_seed() for _ in range(15)]
+    materialised = [sampler.sample_from_seed(s) for s in seeds]
+    assert materialised == RICSampler(
+        graph, communities, seed=29
+    ).sample_many(15)

@@ -91,3 +91,55 @@ def test_equal_priorities_all_retrievable():
         heap.push(item, 1.0)
     popped = {heap.pop_max()[0] for _ in range(3)}
     assert popped == {"x", "y", "z"}
+
+
+# ----------------------------------------------------------- compaction
+
+
+def test_compaction_bounds_heap_size_under_repushes():
+    """Re-pushing the same items thousands of times (the CELF access
+    pattern) must not grow the internal heap without bound: stale
+    entries stay within ~2x the live count (plus the compaction floor)."""
+    heap = LazyMaxHeap()
+    live_items = 50
+    for round_number in range(200):
+        for item in range(live_items):
+            heap.push(item, float(round_number * live_items + item))
+    assert len(heap) == live_items
+    bound = max(heap.COMPACT_MIN_SIZE, 3 * live_items + 1)
+    assert len(heap._heap) <= bound
+
+
+def test_compaction_bounds_heap_size_under_discards():
+    heap = LazyMaxHeap()
+    for wave in range(100):
+        for item in range(wave * 40, (wave + 1) * 40):
+            heap.push(item, float(item))
+        for item in range(wave * 40, (wave + 1) * 40):
+            heap.discard(item)
+    assert len(heap) == 0
+    assert len(heap._heap) <= heap.COMPACT_MIN_SIZE
+
+
+def test_compaction_preserves_pop_order():
+    heap = LazyMaxHeap()
+    # Many supersessions, then check the final priorities win in order.
+    for round_number in range(50):
+        for item in range(30):
+            heap.push(item, float((item * 7 + round_number) % 97))
+    final = {item: float((item * 7 + 49) % 97) for item in range(30)}
+    expected = sorted(final, key=lambda item: -final[item])
+    popped = [heap.pop_max()[0] for _ in range(30)]
+    assert sorted(popped) == sorted(expected)
+    assert [final[i] for i in popped] == sorted(final.values(), reverse=True)
+
+
+def test_small_heaps_never_compact():
+    heap = LazyMaxHeap()
+    for round_number in range(5):
+        for item in range(4):
+            heap.push(item, float(round_number))
+    # Below the floor the stale entries are tolerated (cheap) ...
+    assert len(heap._heap) == 20
+    # ... and behaviour is unchanged.
+    assert len(heap) == 4
