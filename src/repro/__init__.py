@@ -80,11 +80,13 @@ from repro.diffusion import (
 from repro.errors import (
     CommunityError,
     DatasetError,
+    DeadlineExceededError,
     EstimationError,
     GraphError,
     ReproError,
     SamplingError,
     SolverError,
+    WorkerCrashError,
 )
 from repro.graph import (
     DiGraph,
@@ -108,6 +110,8 @@ from repro.sampling import (
     RICSampler,
     RRSampler,
 )
+from repro.utils.faults import Fault, FaultInjected, FaultInjector
+from repro.utils.retry import Deadline, RetryPolicy, TimeBudget
 
 __version__ = "1.0.0"
 
@@ -192,5 +196,14 @@ __all__ = [
     "SolverError",
     "EstimationError",
     "DatasetError",
+    "WorkerCrashError",
+    "DeadlineExceededError",
+    # robustness
+    "RetryPolicy",
+    "Deadline",
+    "TimeBudget",
+    "Fault",
+    "FaultInjected",
+    "FaultInjector",
     "__version__",
 ]

@@ -100,6 +100,15 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the per-community outcome breakdown (top 15 rows)",
     )
+    solve.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        help=(
+            "wall-clock budget in seconds; on expiry the best-so-far "
+            "seed set is returned flagged as truncated"
+        ),
+    )
 
     compare = sub.add_parser(
         "compare", help="run several algorithms on one instance"
@@ -125,6 +134,23 @@ def _build_parser() -> argparse.ArgumentParser:
         type=int,
         default=1,
         help="repeat with derived seeds and report mean ± CI",
+    )
+    compare.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="PATH",
+        help=(
+            "crash-safe checkpoint file: completed algorithm/k runs "
+            "are recorded atomically so a killed comparison can resume"
+        ),
+    )
+    compare.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "resume from an existing --checkpoint file (without this "
+            "flag an existing checkpoint is discarded and restarted)"
+        ),
     )
 
     figure = sub.add_parser("figure", help="regenerate a paper figure")
@@ -215,8 +241,14 @@ def _cmd_solve(args) -> int:
         engine=args.engine,
         workers=args.workers,
         progress=_collect_profile,
+        deadline=args.deadline,
     )
     print(f"seeds: {sorted(result.selection.seeds)}")
+    if result.selection.truncated:
+        print(
+            f"note: deadline of {args.deadline:g}s expired — seeds are "
+            "the best found in budget, not a completed run"
+        )
     if profiles:
         last = profiles[-1]
         util = last["worker_utilization"]
@@ -272,9 +304,13 @@ def _cmd_compare(args) -> int:
         seed=args.seed,
     )
     if args.trials <= 1:
+        from repro.experiments.checkpoint import as_checkpoint
         from repro.experiments.runner import run_suite
 
-        results = run_suite(config, algorithms, k_values)
+        store = as_checkpoint(args.checkpoint, resume=args.resume)
+        results = run_suite(config, algorithms, k_values, checkpoint=store)
+        if store is not None:
+            print(store.report().summary())
         rows = []
         for name in algorithms:
             for run in results[name]:
@@ -285,6 +321,12 @@ def _cmd_compare(args) -> int:
             ascii_table(["algorithm", "k", "c(S) (MC)", "runtime (s)"], rows)
         )
     else:
+        if args.checkpoint:
+            print(
+                "note: --checkpoint applies to single-trial comparisons "
+                "only; ignoring it",
+                file=sys.stderr,
+            )
         from repro.experiments.stats import repeat_suite
 
         cells = repeat_suite(config, algorithms, k_values, trials=args.trials)

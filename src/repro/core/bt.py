@@ -20,7 +20,16 @@ inapproximability bound of Theorem 1.
 from __future__ import annotations
 
 import math
-from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from repro.core.maf import MAF
 from repro.core.solution import SeedSelection
@@ -28,6 +37,7 @@ from repro.errors import SolverError
 from repro.rng import SeedLike
 from repro.sampling.pool import RICSamplePool
 from repro.utils.heap import LazyMaxHeap
+from repro.utils.retry import Deadline, as_deadline
 from repro.utils.validation import check_positive
 
 
@@ -123,12 +133,14 @@ def _greedy_cover(
     collection: _Collection,
     k: int,
     allowed: Optional[Set[int]] = None,
+    deadline: Optional[Deadline] = None,
 ) -> List[int]:
     """CELF greedy for a collection whose thresholds are all ≤ 1.
 
     With ``h ≤ 1`` a sample is influenced as soon as *any* member is
     covered — plain max coverage, submodular, so lazy evaluation is
-    sound and the result carries the ``1 - 1/e`` guarantee.
+    sound and the result carries the ``1 - 1/e`` guarantee. ``deadline``
+    is polled between CELF iterations (after at least one pick).
     """
     sample_covered = [h <= 0 for h in collection.thresholds]
     heap: LazyMaxHeap[int] = LazyMaxHeap()
@@ -150,6 +162,8 @@ def _greedy_cover(
             heap.push(node, g)
     chosen: List[int] = []
     while heap and len(chosen) < k:
+        if deadline is not None and chosen and deadline.expired():
+            break
         node, _ = heap.pop_max()
         fresh = gain(node)
         if fresh <= 0:
@@ -171,17 +185,21 @@ def _bt_solve(
     depth: int,
     candidate_limit: Optional[int],
     allowed: Optional[Set[int]] = None,
+    deadline: Optional[Deadline] = None,
 ) -> List[int]:
     """Recursive core of BT^(d): returns up to ``k`` seeds.
 
     ``depth`` is the threshold bound ``d`` of the *current* collection;
     at ``depth <= 1`` the problem is max coverage and plain greedy
-    finishes the recursion.
+    finishes the recursion. The outer loop over candidate nodes ``u``
+    is BT's dominant cost; a ``deadline`` is polled per candidate and
+    the best companion set found so far is returned on expiry (the
+    first candidate is always evaluated in full).
     """
     if k <= 0 or len(collection) == 0:
         return []
     if depth <= 1 or collection.max_threshold() <= 1:
-        return _greedy_cover(collection, k, allowed=allowed)
+        return _greedy_cover(collection, k, allowed=allowed, deadline=deadline)
     candidates = collection.nodes()
     if allowed is not None:
         candidates = [v for v in candidates if v in allowed]
@@ -194,9 +212,16 @@ def _bt_solve(
     best_seeds: List[int] = []
     best_score = -1
     for u in candidates:
+        if deadline is not None and best_seeds and deadline.expired():
+            break
         reduced = collection.reduce_by(u)
         companions = _bt_solve(
-            reduced, k - 1, depth - 1, candidate_limit, allowed=allowed
+            reduced,
+            k - 1,
+            depth - 1,
+            candidate_limit,
+            allowed=allowed,
+            deadline=deadline,
         )
         companions = [v for v in companions if v != u][: k - 1]
         score = reduced.influenced_count(companions)
@@ -223,6 +248,7 @@ class BT:
         threshold_bound: int = 2,
         candidate_limit: Optional[int] = None,
         candidates: Optional[Iterable[int]] = None,
+        deadline: Optional[Deadline] = None,
     ) -> None:
         if threshold_bound < 1:
             raise SolverError(
@@ -234,6 +260,10 @@ class BT:
         self.candidates: Optional[Set[int]] = (
             set(candidates) if candidates is not None else None
         )
+        #: Optional time bound (Deadline or seconds): polled per outer
+        #: candidate and per CELF pick; best-so-far + ``truncated`` on
+        #: expiry.
+        self.deadline: Optional[Deadline] = as_deadline(deadline)
 
     def alpha(self, pool: RICSamplePool, k: int) -> float:
         """``(1 - 1/e) / k^{d-1}`` (Theorem 4 + induction)."""
@@ -254,12 +284,14 @@ class BT:
         check_positive(k, "k", SolverError)
         self._check_bound(pool)
         collection = _Collection.from_pool(pool)
+        deadline = self.deadline
         seeds = _bt_solve(
             collection,
             k,
             self.threshold_bound,
             self.candidate_limit,
             allowed=self.candidates,
+            deadline=deadline,
         )
         return SeedSelection(
             seeds=tuple(seeds),
@@ -270,6 +302,7 @@ class BT:
                 "candidate_limit": self.candidate_limit,
                 "num_samples": len(pool),
             },
+            truncated=deadline is not None and deadline.expired(),
         )
 
     def __call__(self, pool: RICSamplePool, k: int) -> SeedSelection:
@@ -292,12 +325,18 @@ class MB:
         candidate_limit: Optional[int] = None,
         seed: SeedLike = None,
         candidates: Optional[Iterable[int]] = None,
+        deadline: Optional[Deadline] = None,
     ) -> None:
-        self._maf = MAF(seed=seed, candidates=candidates)
+        #: Optional time bound shared by both arms. MAF (fast) runs
+        #: first; if the deadline has expired by then the BT arm is
+        #: skipped and the MAF result returned flagged ``truncated``.
+        self.deadline: Optional[Deadline] = as_deadline(deadline)
+        self._maf = MAF(seed=seed, candidates=candidates, deadline=self.deadline)
         self._bt = BT(
             threshold_bound=threshold_bound,
             candidate_limit=candidate_limit,
             candidates=candidates,
+            deadline=self.deadline,
         )
 
     def alpha(self, pool: RICSamplePool, k: int) -> float:
@@ -309,10 +348,41 @@ class MB:
         return min(1.0, math.sqrt((1.0 - 1.0 / math.e) * (k // 2) / (k * r)))
 
     def solve(self, pool: RICSamplePool, k: int) -> SeedSelection:
-        """Run both arms and keep the better seed set."""
-        maf_result = self._maf.solve(pool, k)
-        bt_result = self._bt.solve(pool, k)
-        winner = maf_result if maf_result.objective >= bt_result.objective else bt_result
+        """Run both arms and keep the better seed set.
+
+        With an expired deadline after the MAF arm, the (much slower)
+        BT arm is skipped and MAF's seeds are returned as-is."""
+        deadline = self.deadline
+        # A deadline installed on MB after construction (e.g. by
+        # solve_imc) must reach the arms too; install transiently so a
+        # later deadline-free reuse of this instance is unaffected.
+        lend_maf = deadline is not None and self._maf.deadline is None
+        lend_bt = deadline is not None and self._bt.deadline is None
+        if lend_maf:
+            self._maf.deadline = deadline
+        if lend_bt:
+            self._bt.deadline = deadline
+        try:
+            maf_result = self._maf.solve(pool, k)
+            if (
+                deadline is not None
+                and maf_result.seeds
+                and deadline.expired()
+            ):
+                bt_result = None
+                winner = maf_result
+            else:
+                bt_result = self._bt.solve(pool, k)
+                winner = (
+                    maf_result
+                    if maf_result.objective >= bt_result.objective
+                    else bt_result
+                )
+        finally:
+            if lend_maf:
+                self._maf.deadline = None
+            if lend_bt:
+                self._bt.deadline = None
         return SeedSelection(
             seeds=winner.seeds,
             objective=winner.objective,
@@ -320,9 +390,10 @@ class MB:
             metadata={
                 "arm": winner.solver,
                 "value_maf": maf_result.objective,
-                "value_bt": bt_result.objective,
+                "value_bt": bt_result.objective if bt_result else None,
                 "num_samples": len(pool),
             },
+            truncated=deadline is not None and deadline.expired(),
         )
 
     def __call__(self, pool: RICSamplePool, k: int) -> SeedSelection:

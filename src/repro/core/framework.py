@@ -23,19 +23,20 @@ modifies (Nguyen et al., SIGMOD'16).
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Optional, Protocol
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Dict, Optional, Protocol, Union
 
 from repro.communities.structure import CommunityStructure
 from repro.core.solution import SeedSelection
 from repro.diffusion.estimators import dagum_stopping_rule
-from repro.errors import SolverError
+from repro.errors import DeadlineExceededError, SolverError
 from repro.graph.digraph import DiGraph
 from repro.rng import SeedLike, make_rng, spawn_rng
 from repro.sampling.parallel import ParallelRICSampler
 from repro.sampling.pool import RICSamplePool
 from repro.sampling.ric import RICSampler
 from repro.utils.math import log_binomial
+from repro.utils.retry import Deadline, as_deadline
 from repro.utils.validation import check_fraction, check_seed_budget
 
 
@@ -181,8 +182,10 @@ class IMCResult:
     ``stopped_by`` records which exit fired: ``"estimate"`` (the
     statistical cross-check accepted the candidate), ``"psi"`` (the
     worst-case sample bound was reached — the guarantee still holds, by
-    Theorem 6), or ``"max_samples"`` (the practical cap; guarantee
-    heuristic beyond this point).
+    Theorem 6), ``"max_samples"`` (the practical cap; guarantee
+    heuristic beyond this point), or ``"deadline"`` (the time budget
+    expired — the best seed set found so far is returned with
+    ``selection.truncated`` set).
     """
 
     selection: SeedSelection
@@ -210,6 +213,7 @@ def solve_imc(
     progress: Optional[Callable[[Dict[str, Any]], None]] = None,
     engine: str = "serial",
     workers: Optional[int] = None,
+    deadline: Union[None, float, Deadline] = None,
 ) -> IMCResult:
     """Solve IMC with the IMCAF framework (Algorithm 5).
 
@@ -240,6 +244,15 @@ def solve_imc(
     ``sampling_profile`` carries the parallel engine's samples/sec,
     batch sizes and worker utilisation (``None`` under the serial
     engine).
+
+    ``deadline`` bounds wall-clock time: seconds (float) or a
+    :class:`~repro.utils.retry.Deadline`. It is checked between stop
+    stages and handed down to the solver when the solver exposes an
+    unset ``deadline`` attribute (UBG/MAF/BT/MB/GreedyC all do). On
+    expiry the best seed set found so far is returned with
+    ``stopped_by="deadline"`` and ``selection.truncated=True``;
+    :class:`~repro.errors.DeadlineExceededError` is raised only when
+    the budget expires before *any* candidate was selected.
     """
     check_seed_budget(k, graph.num_nodes, SolverError)
     communities.validate_against(graph.num_nodes)
@@ -247,6 +260,17 @@ def solve_imc(
         raise SolverError(
             f"engine must be 'serial' or 'parallel', got {engine!r}"
         )
+    deadline = as_deadline(deadline)
+    # Hand the deadline down to the solver so it truncates *within* a
+    # stage too, not only between stages — but never clobber a deadline
+    # the caller installed on the solver directly.
+    solver_owns_deadline = (
+        deadline is not None
+        and hasattr(solver, "deadline")
+        and getattr(solver, "deadline") is None
+    )
+    if solver_owns_deadline:
+        solver.deadline = deadline  # type: ignore[attr-defined]
     rng = make_rng(seed)
     owns_sampler = pool is None
     if pool is None:
@@ -291,6 +315,9 @@ def solve_imc(
     iterations = 0
     stopped_by = "max_iterations"
     benefit_estimate: Optional[float] = None
+    def out_of_time() -> bool:
+        return deadline is not None and deadline.expired()
+
     try:
         pool.grow_to(math.ceil(lam))
         selection = solver.solve(pool, k)
@@ -303,6 +330,15 @@ def solve_imc(
             # count and fail fast if reused across a grow(). Calling
             # solver.solve afresh per stage is that rebuild.
             selection = solver.solve(pool, k) if iterations > 1 else selection
+            if out_of_time():
+                if not selection.seeds:
+                    raise DeadlineExceededError(
+                        "time budget expired before IMCAF selected any "
+                        "seed (no best-so-far result to return)"
+                    )
+                stopped_by = "deadline"
+                selection = replace(selection, truncated=True)
+                break
             coverage = pool.influenced_count(selection.seeds)
             if progress is not None:
                 progress(
@@ -342,11 +378,19 @@ def solve_imc(
             if len(pool) >= cap:
                 stopped_by = "psi" if cap >= psi else "max_samples"
                 break
+            if out_of_time() and selection.seeds:
+                # Growing the pool is the expensive step; don't start it
+                # on an expired budget.
+                stopped_by = "deadline"
+                selection = replace(selection, truncated=True)
+                break
             pool.grow(min(len(pool), math.ceil(cap) - len(pool)))
     finally:
         # Release worker processes when this call created the sampler.
         if owns_sampler and hasattr(sampler, "close"):
             sampler.close()
+        if solver_owns_deadline:
+            solver.deadline = None  # type: ignore[attr-defined]
 
     return IMCResult(
         selection=selection,

@@ -14,6 +14,13 @@ Two variants back the MAXR solvers:
 - :func:`lazy_greedy_nu` — CELF lazy greedy on the *submodular* ``ν_R``
   (Lemma 3 proves submodularity), with the classic cached-upper-bound
   invariant.
+
+Both accept an optional ``deadline``
+(:class:`~repro.utils.retry.Deadline`): it is polled between selection
+rounds and the loop exits early with the seeds chosen so far. The first
+round always runs to completion so a deadline-bounded caller is
+guaranteed at least one seed whenever one exists — "best-so-far, never
+empty-handed" is the contract the deadline-aware solvers build on.
 """
 
 from __future__ import annotations
@@ -24,6 +31,16 @@ from repro.core.objective import CoverageState
 from repro.errors import SolverError
 from repro.sampling.pool import RICSamplePool
 from repro.utils.heap import LazyMaxHeap
+from repro.utils.retry import Deadline
+
+
+def _out_of_time(deadline: Optional[Deadline], chosen: Sequence[int]) -> bool:
+    """Deadline poll between greedy rounds.
+
+    Only truncates once at least one seed was selected, so bounded runs
+    degrade to a smaller seed set instead of an empty one.
+    """
+    return deadline is not None and bool(chosen) and deadline.expired()
 
 
 def _candidates(pool: RICSamplePool, restrict: Optional[Iterable[int]]) -> List[int]:
@@ -53,13 +70,15 @@ def greedy_maxr(
     candidates: Optional[Iterable[int]] = None,
     tie_break_fractional: bool = True,
     engine: str = "bitset",
+    deadline: Optional[Deadline] = None,
 ) -> List[int]:
     """Greedy on ``ĉ_R`` — full marginal recomputation each round.
 
     Returns up to ``k`` seeds (fewer when the pool has fewer touching
-    nodes than ``k``). With ``tie_break_fractional`` disabled, ties on
-    the ĉ marginal fall straight to the node-id order — the literal
-    greedy of Alg. 2 line 2, kept for ablations.
+    nodes than ``k``, or when ``deadline`` expires mid-selection). With
+    ``tie_break_fractional`` disabled, ties on the ĉ marginal fall
+    straight to the node-id order — the literal greedy of Alg. 2
+    line 2, kept for ablations.
     """
     if k < 0:
         raise SolverError(f"k must be non-negative, got {k}")
@@ -68,6 +87,8 @@ def greedy_maxr(
     chosen: List[int] = []
     remaining = set(pool_candidates)
     for _ in range(min(k, len(pool_candidates))):
+        if _out_of_time(deadline, chosen):
+            break
         best_node = None
         best_key = None
         for node in sorted(remaining):
@@ -89,13 +110,16 @@ def lazy_greedy_nu(
     k: int,
     candidates: Optional[Iterable[int]] = None,
     engine: str = "bitset",
+    deadline: Optional[Deadline] = None,
 ) -> List[int]:
     """CELF lazy greedy on the submodular ``ν_R``.
 
     Submodularity guarantees each cached marginal upper-bounds the true
     current marginal, so only the top heap entry ever needs
     re-evaluation; the selected set matches eager greedy exactly (up to
-    the same tie-breaking), verified by the test suite.
+    the same tie-breaking), verified by the test suite. ``deadline`` is
+    polled between CELF iterations; on expiry the seeds selected so far
+    are returned.
     """
     if k < 0:
         raise SolverError(f"k must be non-negative, got {k}")
@@ -110,6 +134,8 @@ def lazy_greedy_nu(
             heap.push(node, gain)
     chosen: List[int] = []
     while heap and len(chosen) < k:
+        if _out_of_time(deadline, chosen):
+            break
         node, cached_gain = heap.pop_max()
         fresh_gain = state.gain_fractional(node)
         if fresh_gain <= 0.0:
@@ -128,6 +154,7 @@ def greedy_eager_nu(
     pool: RICSamplePool,
     k: int,
     candidates: Optional[Iterable[int]] = None,
+    deadline: Optional[Deadline] = None,
 ) -> List[int]:
     """Eager (recompute-everything) greedy on ``ν_R``.
 
@@ -141,6 +168,8 @@ def greedy_eager_nu(
     remaining = set(_candidates(pool, candidates))
     chosen: List[int] = []
     for _ in range(min(k, len(remaining))):
+        if _out_of_time(deadline, chosen):
+            break
         best_node = None
         best_gain = 0.0
         for node in sorted(remaining):

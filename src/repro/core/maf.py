@@ -19,6 +19,7 @@ from repro.core.solution import SeedSelection
 from repro.errors import SolverError
 from repro.rng import SeedLike, make_rng
 from repro.sampling.pool import RICSamplePool
+from repro.utils.retry import Deadline, as_deadline
 from repro.utils.validation import check_positive
 
 
@@ -31,6 +32,7 @@ class MAF:
         self,
         seed: SeedLike = None,
         candidates: Optional[Iterable[int]] = None,
+        deadline: Optional[Deadline] = None,
     ) -> None:
         #: RNG for the "randomly picks h nodes in C" step of Alg. 3.
         self._rng = make_rng(seed)
@@ -40,6 +42,11 @@ class MAF:
         self.candidates: Optional[Set[int]] = (
             set(candidates) if candidates is not None else None
         )
+        #: Optional time bound (Deadline or seconds). MAF is the
+        #: package's fastest solver, so the poll points are coarse: on
+        #: expiry after the S1 arm, the S2 arm is skipped and the
+        #: selection flagged ``truncated``.
+        self.deadline: Optional[Deadline] = as_deadline(deadline)
 
     def alpha(self, pool: RICSamplePool, k: int) -> float:
         """Theorem 3 ratio ``⌊k/h⌋ / r``, capped at 1 (0 when ``k < h``)."""
@@ -81,8 +88,12 @@ class MAF:
     def solve(self, pool: RICSamplePool, k: int) -> SeedSelection:
         """Run Algorithm 3 on the pool."""
         check_positive(k, "k", SolverError)
+        deadline = self.deadline
         s1 = self._build_s1(pool, k)
-        s2 = self._build_s2(pool, k)
+        if deadline is not None and s1 and deadline.expired():
+            s2: List[int] = []
+        else:
+            s2 = self._build_s2(pool, k)
         value_1 = pool.estimate_benefit(s1)
         value_2 = pool.estimate_benefit(s2)
         if value_1 >= value_2:
@@ -99,6 +110,7 @@ class MAF:
                 "value_s2": value_2,
                 "num_samples": len(pool),
             },
+            truncated=deadline is not None and deadline.expired(),
         )
 
     def __call__(self, pool: RICSamplePool, k: int) -> SeedSelection:

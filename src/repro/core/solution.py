@@ -13,13 +13,17 @@ class SeedSelection:
     ``objective`` is the solver's own estimate of its objective at
     return time (``ĉ_R(S)`` for MAXR solvers); ``metadata`` carries
     solver-specific diagnostics such as the sandwich ratio for UBG or
-    which arm won for MAF/MB.
+    which arm won for MAF/MB. ``truncated`` marks a best-so-far result
+    returned because a :class:`~repro.utils.retry.Deadline` expired
+    before the solver finished — the seed set is valid but may be
+    smaller/weaker than an unbounded run's.
     """
 
     seeds: Tuple[int, ...]
     objective: float
     solver: str
     metadata: Dict[str, Any] = field(default_factory=dict)
+    truncated: bool = False
 
     def __post_init__(self) -> None:
         if len(set(self.seeds)) != len(self.seeds):

@@ -17,6 +17,7 @@ from repro.core.greedy import greedy_maxr, lazy_greedy_nu
 from repro.core.solution import SeedSelection
 from repro.errors import SolverError
 from repro.sampling.pool import RICSamplePool
+from repro.utils.retry import Deadline, as_deadline
 from repro.utils.validation import check_positive
 
 
@@ -30,6 +31,7 @@ class UBG:
         lazy: bool = True,
         run_c_greedy: bool = True,
         candidates: Optional[Iterable[int]] = None,
+        deadline: Optional[Deadline] = None,
     ) -> None:
         #: Use CELF for the ν arm (sound because ν is submodular).
         self.lazy = lazy
@@ -42,6 +44,10 @@ class UBG:
         self.candidates: Optional[Set[int]] = (
             set(candidates) if candidates is not None else None
         )
+        #: Optional time bound (Deadline or seconds): polled between
+        #: CELF iterations; on expiry the best-so-far seed set is
+        #: returned with ``truncated=True`` instead of hanging.
+        self.deadline: Optional[Deadline] = as_deadline(deadline)
 
     def alpha(self, pool: RICSamplePool, k: int) -> float:
         """A-priori ratio used for sample bounds: ``1 - 1/e``.
@@ -52,18 +58,30 @@ class UBG:
         return 1.0 - 1.0 / math.e
 
     def solve(self, pool: RICSamplePool, k: int) -> SeedSelection:
-        """Run Algorithm 2 on the pool."""
+        """Run Algorithm 2 on the pool.
+
+        When a deadline is set and expires mid-run the ν arm returns its
+        best-so-far seeds, the ĉ arm is skipped entirely, and the
+        selection is flagged ``truncated``.
+        """
         check_positive(k, "k", SolverError)
         from repro.core.greedy import greedy_eager_nu
 
+        deadline = self.deadline
         nu_greedy = lazy_greedy_nu if self.lazy else greedy_eager_nu
-        seeds_nu = nu_greedy(pool, k, candidates=self.candidates)
+        seeds_nu = nu_greedy(
+            pool, k, candidates=self.candidates, deadline=deadline
+        )
         value_nu = pool.estimate_benefit(seeds_nu)
         upper_nu = pool.estimate_upper_bound(seeds_nu)
         sandwich = value_nu / upper_nu if upper_nu > 0 else 1.0
 
-        if self.run_c_greedy:
-            seeds_c = greedy_maxr(pool, k, candidates=self.candidates)
+        if self.run_c_greedy and not (
+            deadline is not None and deadline.expired()
+        ):
+            seeds_c = greedy_maxr(
+                pool, k, candidates=self.candidates, deadline=deadline
+            )
             value_c = pool.estimate_benefit(seeds_c)
         else:
             seeds_c, value_c = [], float("-inf")
@@ -84,6 +102,7 @@ class UBG:
                 "value_c_arm": value_c if self.run_c_greedy else None,
                 "num_samples": len(pool),
             },
+            truncated=deadline is not None and deadline.expired(),
         )
 
     def __call__(self, pool: RICSamplePool, k: int) -> SeedSelection:
@@ -99,11 +118,17 @@ class GreedyC:
 
     name = "GreedyC"
 
-    def __init__(self, candidates: Optional[Iterable[int]] = None) -> None:
+    def __init__(
+        self,
+        candidates: Optional[Iterable[int]] = None,
+        deadline: Optional[Deadline] = None,
+    ) -> None:
         #: Optional seeding-candidate restriction (None = all nodes).
         self.candidates: Optional[Set[int]] = (
             set(candidates) if candidates is not None else None
         )
+        #: Optional time bound; best-so-far + ``truncated`` on expiry.
+        self.deadline: Optional[Deadline] = as_deadline(deadline)
 
     def alpha(self, pool: RICSamplePool, k: int) -> float:
         """No guarantee; a tiny constant keeps sample bounds finite."""
@@ -112,12 +137,15 @@ class GreedyC:
     def solve(self, pool: RICSamplePool, k: int) -> SeedSelection:
         """Greedy selection on ``ĉ_R`` (Alg. 2 line 2, standalone)."""
         check_positive(k, "k", SolverError)
-        seeds = greedy_maxr(pool, k, candidates=self.candidates)
+        seeds = greedy_maxr(
+            pool, k, candidates=self.candidates, deadline=self.deadline
+        )
         return SeedSelection(
             seeds=tuple(seeds),
             objective=pool.estimate_benefit(seeds),
             solver=self.name,
             metadata={"num_samples": len(pool)},
+            truncated=self.deadline is not None and self.deadline.expired(),
         )
 
     def __call__(self, pool: RICSamplePool, k: int) -> SeedSelection:

@@ -178,6 +178,18 @@ class BenefitEvaluator:
         self.model = model
         self._rng = make_rng(seed)
 
+    def advance(self, count: int = 1) -> None:
+        """Burn ``count`` child RNG streams without evaluating.
+
+        Each :meth:`__call__` consumes one child stream from the
+        evaluator's master RNG, so the Nth evaluation depends on how
+        many came before it. Checkpoint resume uses this to skip the
+        streams of runs restored from disk, keeping every *recomputed*
+        benefit byte-identical to an uninterrupted session.
+        """
+        for _ in range(count):
+            spawn_rng(self._rng)
+
     def __call__(self, seeds: Iterable[int]) -> float:
         """Estimate ``c(seeds)``."""
         return community_benefit_monte_carlo(

@@ -34,6 +34,32 @@ class SamplingError(ReproError):
     """Raised when RIC / RR sample generation receives invalid input."""
 
 
+class WorkerCrashError(SamplingError):
+    """Raised when parallel sampling exhausts its retry budget.
+
+    The self-healing :class:`~repro.sampling.parallel.ParallelRICSampler`
+    transparently restarts crashed worker pools and re-dispatches failed
+    batches; only when the same work keeps failing for every attempt
+    allowed by its :class:`~repro.utils.retry.RetryPolicy` does this
+    error surface. ``attempts`` records how many dispatch rounds ran.
+    """
+
+    def __init__(self, message: str, attempts: int = 0) -> None:
+        super().__init__(message)
+        self.attempts = attempts
+
+
+class DeadlineExceededError(ReproError):
+    """Raised when a time budget expires before *any* result exists.
+
+    Deadline-aware entry points (``solve_imc``, the MAXR solvers) prefer
+    graceful degradation — they return the best-so-far seed set marked
+    ``truncated`` — and raise this error only when the deadline expired
+    before a single seed could be selected, so callers never receive a
+    silently-empty "result".
+    """
+
+
 class SolverError(ReproError):
     """Raised when a MAXR / IMC solver is mis-configured.
 

@@ -15,7 +15,13 @@ from repro.experiments.campaign import (
     CampaignCell,
     best_algorithm_per_cell,
     campaign_records,
+    cell_key,
     run_campaign,
+)
+from repro.experiments.checkpoint import (
+    CheckpointStore,
+    ResumeReport,
+    as_checkpoint,
 )
 from repro.experiments.config import ALGORITHMS, ExperimentConfig
 from repro.experiments.fidelity import (
@@ -101,7 +107,11 @@ __all__ = [
     "run_campaign",
     "campaign_records",
     "best_algorithm_per_cell",
+    "cell_key",
     "CampaignCell",
+    "CheckpointStore",
+    "ResumeReport",
+    "as_checkpoint",
     "fidelity_report",
     "fidelity_expectations",
     "FidelityRow",

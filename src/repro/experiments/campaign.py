@@ -10,9 +10,10 @@ cell and returns flat records ready for
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import ExperimentError
+from repro.experiments.checkpoint import CheckpointStore, as_checkpoint
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import AlgorithmRun, run_suite
 
@@ -27,6 +28,31 @@ class CampaignCell:
     runs: Dict[str, List[AlgorithmRun]]
 
 
+def cell_key(dataset: str, threshold: str, formation: str) -> str:
+    """Checkpoint key identifying one campaign grid cell."""
+    return f"{dataset}|{threshold}|{formation}"
+
+
+def _cell_payload(runs: Dict[str, List[AlgorithmRun]]) -> dict:
+    from repro.experiments.persistence import runs_to_records
+
+    return {"records": runs_to_records(runs)}
+
+
+def _cell_from_payload(
+    payload: dict, path: str
+) -> Dict[str, List[AlgorithmRun]]:
+    from repro.experiments.persistence import records_to_runs
+
+    try:
+        records = payload["records"]
+    except (KeyError, TypeError) as exc:
+        raise ExperimentError(
+            f"malformed cell payload in checkpoint {path!r}"
+        ) from exc
+    return records_to_runs(records)
+
+
 def run_campaign(
     base_config: ExperimentConfig,
     algorithms: Sequence[str],
@@ -36,15 +62,32 @@ def run_campaign(
     formations: Sequence[str] = ("louvain",),
     candidate_limit: Optional[int] = 30,
     progress=None,
+    checkpoint: Union[None, str, CheckpointStore] = None,
+    resume: bool = True,
 ) -> List[CampaignCell]:
     """Run the full grid; returns one :class:`CampaignCell` per combo.
 
     ``progress``, if given, is called with
     ``(cell_index, total_cells, dataset, threshold, formation)`` before
     each cell starts.
+
+    ``checkpoint`` (a path or a
+    :class:`~repro.experiments.checkpoint.CheckpointStore`; defaults to
+    ``base_config.checkpoint_path``) makes the campaign crash-safe:
+    each completed cell is recorded atomically, and rerunning against
+    the same checkpoint restores completed cells from disk instead of
+    recomputing them — a killed overnight campaign resumes where it
+    died. Pass ``resume=False`` to discard an existing checkpoint.
+    Every cell is seeded from its own config alone, so a resumed
+    campaign's results are identical to an uninterrupted run's. Call
+    ``store.report()`` on a passed-in store for the skip/recompute
+    summary.
     """
     if not algorithms or not k_values:
         raise ExperimentError("campaign needs algorithms and k values")
+    if checkpoint is None and base_config.checkpoint_path is not None:
+        checkpoint = base_config.checkpoint_path
+    store = as_checkpoint(checkpoint, resume=resume)
     grid: List[Tuple[str, str, str]] = [
         (dataset, threshold, formation)
         for dataset in datasets
@@ -53,14 +96,33 @@ def run_campaign(
     ]
     cells: List[CampaignCell] = []
     for index, (dataset, threshold, formation) in enumerate(grid):
+        key = cell_key(dataset, threshold, formation)
+        if store is not None and key in store:
+            cells.append(
+                CampaignCell(
+                    dataset=dataset,
+                    threshold=threshold,
+                    formation=formation,
+                    runs=_cell_from_payload(store.get(key), store.path),
+                )
+            )
+            continue
         if progress is not None:
             progress(index, len(grid), dataset, threshold, formation)
+        # Cells checkpoint at campaign granularity; strip the config's
+        # own checkpoint path so the inner suite doesn't mix per-run
+        # keys into the same file.
         config = base_config.with_overrides(
-            dataset=dataset, threshold=threshold, formation=formation
+            dataset=dataset,
+            threshold=threshold,
+            formation=formation,
+            checkpoint_path=None,
         )
         runs = run_suite(
             config, algorithms, list(k_values), candidate_limit=candidate_limit
         )
+        if store is not None:
+            store.record(key, _cell_payload(runs))
         cells.append(
             CampaignCell(
                 dataset=dataset,

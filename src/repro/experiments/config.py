@@ -61,6 +61,11 @@ class ExperimentConfig:
     epsilon: float = 0.2
     delta: float = 0.2
     seed: int = 7
+    #: Crash-safety checkpoint file for ``run_suite``/``run_campaign``
+    #: (``None`` disables). Completed work units are recorded here
+    #: atomically; a rerun with the same path resumes instead of
+    #: recomputing.
+    checkpoint_path: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.formation not in (
@@ -92,6 +97,10 @@ class ExperimentConfig:
         if self.workers is not None and self.workers < 1:
             raise ExperimentError(
                 f"workers must be >= 1, got {self.workers}"
+            )
+        if self.checkpoint_path is not None and not str(self.checkpoint_path):
+            raise ExperimentError(
+                "checkpoint_path must be a non-empty path or None"
             )
 
     def with_overrides(self, **kwargs) -> "ExperimentConfig":

@@ -62,22 +62,56 @@ def save_runs(
     path: PathLike,
     metadata: dict = None,
 ) -> None:
-    """Archive suite results (plus free-form ``metadata``) to JSON."""
+    """Archive suite results (plus free-form ``metadata``) to JSON.
+
+    The write is crash-safe: the payload goes to a sibling temporary
+    file first, is fsync'd, then atomically ``os.replace``d over
+    ``path`` — a crash mid-archive leaves any previous archive intact
+    rather than a truncated JSON file.
+    """
     payload = {
         "version": _SCHEMA_VERSION,
         "metadata": metadata or {},
         "records": runs_to_records(results),
     }
-    with open(path, "w", encoding="utf-8") as fh:
+    path = os.fspath(path)
+    tmp_path = f"{path}.tmp"
+    with open(tmp_path, "w", encoding="utf-8") as fh:
         json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp_path, path)
 
 
 def load_runs(path: PathLike) -> Dict[str, List[AlgorithmRun]]:
-    """Load results written by :func:`save_runs`."""
+    """Load results written by :func:`save_runs`.
+
+    Truncated/invalid JSON and structurally wrong payloads raise
+    :class:`~repro.errors.ExperimentError` naming the offending file,
+    so sweep drivers can report which archive is bad instead of dying
+    on a bare ``JSONDecodeError``.
+    """
+    path = os.fspath(path)
     with open(path, "r", encoding="utf-8") as fh:
-        payload = json.load(fh)
+        try:
+            payload = json.load(fh)
+        except json.JSONDecodeError as exc:
+            raise ExperimentError(
+                f"results file {path!r} is not valid JSON "
+                f"(truncated write?): {exc}"
+            ) from exc
+    if not isinstance(payload, dict):
+        raise ExperimentError(
+            f"results file {path!r} does not hold a results object"
+        )
     if payload.get("version") != _SCHEMA_VERSION:
         raise ExperimentError(
             f"unsupported results schema version {payload.get('version')!r}"
         )
-    return records_to_runs(payload["records"])
+    try:
+        records = payload["records"]
+    except KeyError as exc:
+        raise ExperimentError(
+            f"results file {path!r} is missing the 'records' key"
+        ) from exc
+    return records_to_runs(records)

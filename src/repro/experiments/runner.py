@@ -10,7 +10,7 @@ sample generation is part of those algorithms).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.baselines import (
     hbc_seeds,
@@ -34,6 +34,7 @@ from repro.core.ubg import UBG, GreedyC
 from repro.datasets.registry import load_dataset
 from repro.diffusion.simulator import BenefitEvaluator
 from repro.errors import ExperimentError
+from repro.experiments.checkpoint import CheckpointStore, as_checkpoint
 from repro.experiments.config import ExperimentConfig
 from repro.graph.digraph import DiGraph
 from repro.rng import derive_seed
@@ -219,11 +220,43 @@ def run_algorithm(
     )
 
 
+def _run_key(algorithm: str, k: int) -> str:
+    """Checkpoint key for one algorithm × budget unit of a suite."""
+    return f"{algorithm}|k={k}"
+
+
+def _run_to_payload(run: AlgorithmRun) -> dict:
+    return {
+        "algorithm": run.algorithm,
+        "k": run.k,
+        "seeds": list(run.seeds),
+        "benefit": run.benefit,
+        "runtime_seconds": run.runtime_seconds,
+    }
+
+
+def _run_from_payload(payload: dict, path: str) -> AlgorithmRun:
+    try:
+        return AlgorithmRun(
+            algorithm=payload["algorithm"],
+            k=int(payload["k"]),
+            seeds=tuple(payload["seeds"]),
+            benefit=float(payload["benefit"]),
+            runtime_seconds=float(payload["runtime_seconds"]),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ExperimentError(
+            f"malformed run payload in checkpoint {path!r}: {payload!r}"
+        ) from exc
+
+
 def run_suite(
     config: ExperimentConfig,
     algorithms: Sequence[str],
     k_values: Sequence[int],
     candidate_limit: Optional[int] = 50,
+    checkpoint: Union[None, str, CheckpointStore] = None,
+    resume: bool = True,
 ) -> Dict[str, List[AlgorithmRun]]:
     """Run ``algorithms`` over ``k_values`` on one instance.
 
@@ -231,31 +264,71 @@ def run_suite(
     ``config.pool_size``); the benefit evaluator is shared per ``k`` so
     every algorithm is scored by the same Monte-Carlo stream count.
     Returns ``{algorithm: [AlgorithmRun per k]}``.
+
+    ``checkpoint`` (a path or a
+    :class:`~repro.experiments.checkpoint.CheckpointStore`; defaults to
+    ``config.checkpoint_path``) makes the suite crash-safe: every
+    completed algorithm × k run is recorded atomically, and a rerun
+    against the same checkpoint skips completed runs entirely. Each run
+    derives its RNG streams from ``config.seed`` alone, so a resumed
+    suite is identical to an uninterrupted one. Set ``resume=False`` to
+    discard an existing checkpoint file instead of resuming from it.
     """
-    graph, communities = build_instance(config)
-    needs_pool = any(
-        a in ("UBG", "MAF", "BT", "MB", "GreedyC") for a in algorithms
-    )
-    pool = make_pool(graph, communities, config) if needs_pool else None
+    if checkpoint is None and config.checkpoint_path is not None:
+        checkpoint = config.checkpoint_path
+    store = as_checkpoint(checkpoint, resume=resume)
+    todo = [
+        (name, k)
+        for k in k_values
+        for name in algorithms
+        if store is None or _run_key(name, k) not in store
+    ]
+    graph = communities = pool = None
+    if todo:
+        graph, communities = build_instance(config)
+        needs_pool = any(
+            name in ("UBG", "MAF", "BT", "MB", "GreedyC")
+            for name, _ in todo
+        )
+        pool = make_pool(graph, communities, config) if needs_pool else None
     results: Dict[str, List[AlgorithmRun]] = {name: [] for name in algorithms}
     for k in k_values:
-        evaluator = BenefitEvaluator(
-            graph,
-            communities,
-            num_trials=config.eval_trials,
-            seed=derive_seed(config.seed, "evaluator", k),
-        )
-        for name in algorithms:
-            results[name].append(
-                run_algorithm(
-                    name,
-                    graph,
-                    communities,
-                    k,
-                    config,
-                    pool=pool,
-                    evaluator=evaluator,
-                    candidate_limit=candidate_limit,
-                )
+        pending = [
+            name
+            for name in algorithms
+            if store is None or _run_key(name, k) not in store
+        ]
+        evaluator = None
+        if pending:
+            evaluator = BenefitEvaluator(
+                graph,
+                communities,
+                num_trials=config.eval_trials,
+                seed=derive_seed(config.seed, "evaluator", k),
             )
+        for name in algorithms:
+            key = _run_key(name, k)
+            if store is not None and key in store:
+                run = _run_from_payload(store.get(key), store.path)
+                if evaluator is not None and run.seeds:
+                    # The evaluator hands each evaluation the next child
+                    # RNG stream; burn the restored run's stream so the
+                    # recomputed runs below see exactly the streams an
+                    # uninterrupted session would have given them.
+                    evaluator.advance()
+                results[name].append(run)
+                continue
+            run = run_algorithm(
+                name,
+                graph,
+                communities,
+                k,
+                config,
+                pool=pool,
+                evaluator=evaluator,
+                candidate_limit=candidate_limit,
+            )
+            if store is not None:
+                store.record(key, _run_to_payload(run))
+            results[name].append(run)
     return results

@@ -1,7 +1,10 @@
-"""Small shared utilities: lazy heap, math helpers, timing, validation."""
+"""Small shared utilities: lazy heap, math helpers, timing, validation,
+retry/deadline primitives and deterministic fault injection."""
 
+from repro.utils.faults import Fault, FaultInjected, FaultInjector
 from repro.utils.heap import LazyMaxHeap
 from repro.utils.math import harmonic_number, log_binomial, log_n_choose_k
+from repro.utils.retry import Deadline, RetryPolicy, TimeBudget, as_deadline
 from repro.utils.timing import Stopwatch
 from repro.utils.validation import (
     check_fraction,
@@ -17,6 +20,13 @@ __all__ = [
     "log_binomial",
     "log_n_choose_k",
     "Stopwatch",
+    "Deadline",
+    "TimeBudget",
+    "RetryPolicy",
+    "as_deadline",
+    "Fault",
+    "FaultInjected",
+    "FaultInjector",
     "check_fraction",
     "check_node",
     "check_positive",

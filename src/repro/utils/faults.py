@@ -1,0 +1,183 @@
+"""Deterministic fault injection for tests and benchmarks.
+
+Verifying a self-healing execution layer requires *reproducible*
+failures: a worker that crashes on exactly the same batch every run, a
+call that raises on exactly its Nth invocation, a stage that stalls for
+a fixed delay. :class:`FaultInjector` provides that as a picklable plan
+that can be shipped into worker processes.
+
+A plan is a sequence of :class:`Fault` specs. Each names a *site* (a
+string the instrumented code passes to :meth:`FaultInjector.fire`) and
+a set of coordinate constraints (``when``) that must all match the
+coordinates supplied at the fire point for the fault to trigger. The
+injector automatically adds a per-site ``call`` coordinate (0-based
+invocation count, tracked per process), so "raise on the Nth call"
+needs no cooperation from the instrumented code.
+
+Actions:
+
+- ``"raise"`` — raise ``exception_type(message)``
+  (:class:`FaultInjected` by default);
+- ``"delay"`` — sleep ``delay_seconds`` then continue;
+- ``"kill"`` — terminate the *process* via ``os._exit`` (simulating a
+  worker being OOM-killed / segfaulting; inside a
+  ``ProcessPoolExecutor`` this surfaces as ``BrokenProcessPool``).
+
+Everything is plain data (frozen dataclasses, exception types by
+reference), so an injector pickles cleanly into pool initializers. Call
+counters are per-process: a restarted worker starts counting afresh,
+which is why crash plans for the parallel sampler key on the shipped
+``start``/``attempt`` coordinates rather than on call counts.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Sequence, Tuple, Type
+
+from repro.errors import ReproError
+
+
+class FaultInjected(RuntimeError):
+    """Default exception raised by a ``"raise"`` fault.
+
+    Deliberately *not* a :class:`~repro.errors.ReproError`: injected
+    faults simulate infrastructure failures (a dying worker, a flaky
+    filesystem), which the library must treat as foreign exceptions.
+    """
+
+
+_ACTIONS = ("raise", "delay", "kill")
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One planned failure: fire ``action`` at ``site`` when every
+    ``when`` coordinate matches the fire point's coordinates."""
+
+    site: str
+    action: str
+    when: Tuple[Tuple[str, int], ...] = ()
+    message: str = "injected fault"
+    exception_type: Type[BaseException] = FaultInjected
+    delay_seconds: float = 0.0
+    exit_code: int = 23
+
+    def __post_init__(self) -> None:
+        if self.action not in _ACTIONS:
+            raise ReproError(
+                f"fault action must be one of {_ACTIONS}, got {self.action!r}"
+            )
+        if self.delay_seconds < 0:
+            raise ReproError(
+                f"delay_seconds must be non-negative, got {self.delay_seconds}"
+            )
+
+    @staticmethod
+    def _coords(when: Mapping[str, int]) -> Tuple[Tuple[str, int], ...]:
+        return tuple(sorted(when.items()))
+
+    @classmethod
+    def raise_on(
+        cls,
+        site: str,
+        message: str = "injected fault",
+        exception_type: Type[BaseException] = FaultInjected,
+        **when: int,
+    ) -> "Fault":
+        """A fault raising ``exception_type(message)`` at ``site``."""
+        return cls(
+            site=site,
+            action="raise",
+            when=cls._coords(when),
+            message=message,
+            exception_type=exception_type,
+        )
+
+    @classmethod
+    def delay_on(cls, site: str, seconds: float, **when: int) -> "Fault":
+        """A fault sleeping ``seconds`` before letting ``site`` proceed."""
+        return cls(
+            site=site,
+            action="delay",
+            when=cls._coords(when),
+            delay_seconds=seconds,
+        )
+
+    @classmethod
+    def kill_on(cls, site: str, exit_code: int = 23, **when: int) -> "Fault":
+        """A fault hard-killing the current process at ``site``."""
+        return cls(
+            site=site,
+            action="kill",
+            when=cls._coords(when),
+            exit_code=exit_code,
+        )
+
+    def matches(self, site: str, coords: Mapping[str, int]) -> bool:
+        """Whether this fault triggers for ``site`` with ``coords``."""
+        if site != self.site:
+            return False
+        return all(
+            key in coords and coords[key] == value
+            for key, value in self.when
+        )
+
+
+class FaultInjector:
+    """Executes a deterministic fault plan at instrumented sites.
+
+    Instrumented code calls ``injector.fire(site, **coordinates)`` at
+    the points where failures may be injected; the call is a no-op
+    unless a planned :class:`Fault` matches. The injector tracks a
+    0-based per-site ``call`` coordinate automatically (per process).
+
+    ``fired`` counts triggered faults per site — assertions in tests
+    use it to prove the fault actually fired (kills excepted, since the
+    process is gone).
+    """
+
+    def __init__(self, faults: Sequence[Fault] = ()) -> None:
+        self.faults: Tuple[Fault, ...] = tuple(faults)
+        self._calls: Dict[str, int] = {}
+        self.fired: Dict[str, int] = {}
+
+    def add(self, fault: Fault) -> None:
+        """Append one more fault to the plan."""
+        self.faults = self.faults + (fault,)
+
+    def call_count(self, site: str) -> int:
+        """How many times ``site`` has fired so far in this process."""
+        return self._calls.get(site, 0)
+
+    def fire(self, site: str, **coords: int) -> None:
+        """Trigger any matching fault for ``site`` (no-op otherwise)."""
+        n = self._calls.get(site, 0)
+        self._calls[site] = n + 1
+        coords.setdefault("call", n)
+        for fault in self.faults:
+            if fault.matches(site, coords):
+                self._act(fault, site)
+
+    def _act(self, fault: Fault, site: str) -> None:
+        if fault.action == "kill":
+            # Simulate a hard worker death (OOM-kill/segfault): no
+            # exception propagation, no cleanup, the process just ends.
+            os._exit(fault.exit_code)
+        self.fired[site] = self.fired.get(site, 0) + 1
+        if fault.action == "delay":
+            time.sleep(fault.delay_seconds)
+            return
+        raise fault.exception_type(fault.message)
+
+    def __getstate__(self) -> dict:
+        # Counters are per-process state; a pickled copy shipped to a
+        # (possibly restarted) worker starts counting from zero.
+        return {"faults": self.faults}
+
+    def __setstate__(self, state: dict) -> None:
+        self.faults = state["faults"]
+        self._calls = {}
+        self.fired = {}

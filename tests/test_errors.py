@@ -14,9 +14,25 @@ def test_all_errors_derive_from_repro_error():
         "EstimationError",
         "DatasetError",
         "ExperimentError",
+        "WorkerCrashError",
+        "DeadlineExceededError",
     ):
         cls = getattr(errors, name)
         assert issubclass(cls, errors.ReproError)
+
+
+def test_worker_crash_error_is_a_sampling_error_with_attempts():
+    exc = errors.WorkerCrashError("pool died", attempts=3)
+    assert isinstance(exc, errors.SamplingError)
+    assert exc.attempts == 3
+
+
+def test_robustness_errors_reachable_from_top_level():
+    import repro
+
+    for name in ("WorkerCrashError", "DeadlineExceededError"):
+        assert getattr(repro, name) is getattr(errors, name)
+        assert name in repro.__all__
 
 
 def test_repro_error_is_exception():
