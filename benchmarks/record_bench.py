@@ -1,0 +1,43 @@
+"""Record one kernel-benchmark entry into ``BENCH_kernels.json``.
+
+Thin wrapper around :mod:`repro.experiments.kernel_bench` so the
+perf-regression trajectory can be refreshed without remembering CLI
+flags::
+
+    PYTHONPATH=src python benchmarks/record_bench.py [samples] [k]
+
+Equivalent to ``python -m repro bench --record``. The artifact lives
+next to this script; each run appends one timestamped entry, so the
+file is a trajectory of kernel performance over the repo's history.
+"""
+
+from __future__ import annotations
+
+import sys
+
+
+def main(argv=None) -> int:
+    """Run the kernel bench once and append it to the trajectory."""
+    argv = sys.argv[1:] if argv is None else argv
+    samples = int(argv[0]) if len(argv) > 0 else 10_000
+    k = int(argv[1]) if len(argv) > 1 else 10
+
+    from repro.experiments.kernel_bench import (
+        default_artifact_path,
+        format_entry,
+        record_entry,
+        run_kernel_bench,
+    )
+
+    entry = run_kernel_bench(samples=samples, k=k)
+    print(format_entry(entry))
+    data = record_entry(entry)
+    print(
+        f"recorded entry {len(data['trajectory'])} in "
+        f"{default_artifact_path()}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -53,7 +53,10 @@ from repro.core import (
     MAF,
     MB,
     UBG,
+    BitsetCoverage,
     CoverageState,
+    FlatCoverage,
+    evaluate_benefit,
     DkSReduction,
     GreedyC,
     IMCResult,
@@ -90,6 +93,7 @@ from repro.errors import (
 )
 from repro.graph import (
     DiGraph,
+    FrozenDiGraph,
     assign_uniform_weights,
     assign_weighted_cascade,
     barabasi_albert_graph,
@@ -118,6 +122,7 @@ __version__ = "1.0.0"
 __all__ = [
     # graph
     "DiGraph",
+    "FrozenDiGraph",
     "from_edge_list",
     "from_undirected_edge_list",
     "assign_weighted_cascade",
@@ -159,7 +164,10 @@ __all__ = [
     "RICSamplePool",
     "RRSampler",
     # core
+    "BitsetCoverage",
     "CoverageState",
+    "FlatCoverage",
+    "evaluate_benefit",
     "SeedSelection",
     "greedy_maxr",
     "lazy_greedy_nu",

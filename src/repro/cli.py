@@ -6,6 +6,7 @@ Four subcommands cover the common workflows::
     python -m repro table1 --scale 0.2      # regenerate Table I
     python -m repro solve --dataset facebook --solver UBG --k 10
     python -m repro figure fig5 --dataset facebook
+    python -m repro bench --record   # kernel perf trajectory
 
 All randomness is controlled by ``--seed``; every command prints plain
 ASCII tables (the same renderer the benchmark harness uses).
@@ -90,6 +91,23 @@ def _build_parser() -> argparse.ArgumentParser:
         help="worker processes for --engine parallel (default: all cores)",
     )
     solve.add_argument(
+        "--coverage-engine",
+        default=None,
+        choices=["reference", "bitset", "flat"],
+        help=(
+            "coverage/evaluation backend for the solver (identical "
+            "results, different speed; default: the solver's own)"
+        ),
+    )
+    solve.add_argument(
+        "--freeze",
+        action="store_true",
+        help=(
+            "freeze the graph into its CSR snapshot before solving — "
+            "array-native sampling kernels, byte-identical results"
+        ),
+    )
+    solve.add_argument(
         "--eval-trials",
         type=int,
         default=500,
@@ -151,6 +169,34 @@ def _build_parser() -> argparse.ArgumentParser:
             "resume from an existing --checkpoint file (without this "
             "flag an existing checkpoint is discarded and restarted)"
         ),
+    )
+
+    bench = sub.add_parser(
+        "bench",
+        help="run the kernel microbenchmarks (optionally record them)",
+    )
+    bench.add_argument(
+        "--samples",
+        type=int,
+        default=10_000,
+        help="RIC pool size for the benchmark workload",
+    )
+    bench.add_argument(
+        "--k", type=int, default=10, help="seed budget for selection timing"
+    )
+    bench.add_argument(
+        "--record",
+        action="store_true",
+        help=(
+            "append the run to the perf-regression trajectory "
+            "(benchmarks/BENCH_kernels.json)"
+        ),
+    )
+    bench.add_argument(
+        "--output",
+        default=None,
+        metavar="PATH",
+        help="trajectory artifact to append to (default: the repo's)",
     )
 
     figure = sub.add_parser("figure", help="regenerate a paper figure")
@@ -216,6 +262,8 @@ def _cmd_solve(args) -> int:
     communities = build_structure(
         blocks, size_cap=args.size_cap, threshold_policy=policy
     )
+    if args.freeze:
+        graph = graph.freeze()
     print(
         f"instance: {args.dataset} n={graph.num_nodes} m={graph.num_edges} "
         f"r={communities.r} b={communities.total_benefit:g} "
@@ -240,6 +288,7 @@ def _cmd_solve(args) -> int:
         model=args.model,
         engine=args.engine,
         workers=args.workers,
+        coverage_engine=args.coverage_engine,
         progress=_collect_profile,
         deadline=args.deadline,
     )
@@ -348,6 +397,26 @@ def _cmd_compare(args) -> int:
     return 0
 
 
+def _cmd_bench(args) -> int:
+    from repro.experiments.kernel_bench import (
+        format_entry,
+        record_entry,
+        run_kernel_bench,
+    )
+
+    entry = run_kernel_bench(samples=args.samples, k=args.k)
+    print(format_entry(entry))
+    if args.record:
+        data = record_entry(entry, args.output)
+        from repro.experiments.kernel_bench import default_artifact_path
+
+        path = args.output or default_artifact_path()
+        print(
+            f"recorded entry {len(data['trajectory'])} in {path}"
+        )
+    return 0
+
+
 def _cmd_figure(args) -> int:
     config = ExperimentConfig(
         dataset=args.dataset,
@@ -409,6 +478,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_solve(args)
         if args.command == "compare":
             return _cmd_compare(args)
+        if args.command == "bench":
+            return _cmd_bench(args)
         if args.command == "figure":
             return _cmd_figure(args)
     except ReproError as exc:

@@ -32,6 +32,7 @@ from typing import (
 )
 
 from repro.core.maf import MAF
+from repro.core.objective import evaluate_benefit
 from repro.core.solution import SeedSelection
 from repro.errors import SolverError
 from repro.rng import SeedLike
@@ -248,6 +249,7 @@ class BT:
         threshold_bound: int = 2,
         candidate_limit: Optional[int] = None,
         candidates: Optional[Iterable[int]] = None,
+        engine: str = "reference",
         deadline: Optional[Deadline] = None,
     ) -> None:
         if threshold_bound < 1:
@@ -256,6 +258,9 @@ class BT:
             )
         self.threshold_bound = threshold_bound
         self.candidate_limit = candidate_limit
+        #: Arithmetic backend for the final seed-set evaluation
+        #: ("reference"/"bitset"/"flat"; identical floats either way).
+        self.engine = engine
         #: Restrict seeding to these nodes (None = all nodes).
         self.candidates: Optional[Set[int]] = (
             set(candidates) if candidates is not None else None
@@ -295,7 +300,7 @@ class BT:
         )
         return SeedSelection(
             seeds=tuple(seeds),
-            objective=pool.estimate_benefit(seeds),
+            objective=evaluate_benefit(pool, seeds, self.engine),
             solver=self.name,
             metadata={
                 "threshold_bound": self.threshold_bound,
@@ -325,17 +330,26 @@ class MB:
         candidate_limit: Optional[int] = None,
         seed: SeedLike = None,
         candidates: Optional[Iterable[int]] = None,
+        engine: str = "reference",
         deadline: Optional[Deadline] = None,
     ) -> None:
         #: Optional time bound shared by both arms. MAF (fast) runs
         #: first; if the deadline has expired by then the BT arm is
         #: skipped and the MAF result returned flagged ``truncated``.
         self.deadline: Optional[Deadline] = as_deadline(deadline)
-        self._maf = MAF(seed=seed, candidates=candidates, deadline=self.deadline)
+        #: Evaluation backend forwarded to both arms.
+        self.engine = engine
+        self._maf = MAF(
+            seed=seed,
+            candidates=candidates,
+            engine=engine,
+            deadline=self.deadline,
+        )
         self._bt = BT(
             threshold_bound=threshold_bound,
             candidate_limit=candidate_limit,
             candidates=candidates,
+            engine=engine,
             deadline=self.deadline,
         )
 
@@ -362,6 +376,11 @@ class MB:
             self._maf.deadline = deadline
         if lend_bt:
             self._bt.deadline = deadline
+        # Same transient propagation for the engine: ``solve_imc`` may
+        # install a coverage engine on this MB after construction, and
+        # the arms must honour it for this call only.
+        prior_maf_engine, prior_bt_engine = self._maf.engine, self._bt.engine
+        self._maf.engine = self._bt.engine = self.engine
         try:
             maf_result = self._maf.solve(pool, k)
             if (
@@ -383,6 +402,8 @@ class MB:
                 self._maf.deadline = None
             if lend_bt:
                 self._bt.deadline = None
+            self._maf.engine = prior_maf_engine
+            self._bt.engine = prior_bt_engine
         return SeedSelection(
             seeds=winner.seeds,
             objective=winner.objective,

@@ -213,6 +213,7 @@ def solve_imc(
     progress: Optional[Callable[[Dict[str, Any]], None]] = None,
     engine: str = "serial",
     workers: Optional[int] = None,
+    coverage_engine: Optional[str] = None,
     deadline: Union[None, float, Deadline] = None,
 ) -> IMCResult:
     """Solve IMC with the IMCAF framework (Algorithm 5).
@@ -236,6 +237,14 @@ def solve_imc(
     processes, default ``os.cpu_count()``). Both engines produce the
     *identical* pool for a fixed ``seed``, so results are reproducible
     across engines and worker counts.
+
+    ``coverage_engine``, when given, selects the coverage/evaluation
+    backend (``"reference"``, ``"bitset"`` or ``"flat"``) and is
+    installed transiently on the solver for the duration of the call
+    (restored afterwards, mirroring the deadline hand-down). All three
+    backends produce identical seed sets and objectives; they differ
+    only in marginal-evaluation speed. ``None`` keeps whatever the
+    solver was constructed with.
 
     ``progress``, when given, is called once per stop stage with a dict
     ``{stage, num_samples, coverage, objective, lambda, psi,
@@ -271,6 +280,22 @@ def solve_imc(
     )
     if solver_owns_deadline:
         solver.deadline = deadline  # type: ignore[attr-defined]
+    # Install the requested coverage engine transiently (same pattern):
+    # the solver keeps its own setting once this call returns.
+    if coverage_engine is not None and coverage_engine not in (
+        "reference", "bitset", "flat"
+    ):
+        raise SolverError(
+            "coverage_engine must be 'reference', 'bitset' or 'flat', "
+            f"got {coverage_engine!r}"
+        )
+    solver_lends_engine = coverage_engine is not None and hasattr(
+        solver, "engine"
+    )
+    prior_engine: Optional[str] = None
+    if solver_lends_engine:
+        prior_engine = solver.engine  # type: ignore[attr-defined]
+        solver.engine = coverage_engine  # type: ignore[attr-defined]
     rng = make_rng(seed)
     owns_sampler = pool is None
     if pool is None:
@@ -391,6 +416,8 @@ def solve_imc(
             sampler.close()
         if solver_owns_deadline:
             solver.deadline = None  # type: ignore[attr-defined]
+        if solver_lends_engine:
+            solver.engine = prior_engine  # type: ignore[attr-defined]
 
     return IMCResult(
         selection=selection,

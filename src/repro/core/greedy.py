@@ -50,17 +50,22 @@ def _candidates(pool: RICSamplePool, restrict: Optional[Iterable[int]]) -> List[
 
 
 def _make_state(pool: RICSamplePool, engine: str):
-    """Instantiate the coverage engine: "reference" (sets) or "bitset"
-    (packed integer masks — same results, faster marginals on pools
-    with large reach sets)."""
+    """Instantiate the coverage engine: "reference" (sets), "bitset"
+    (packed integer masks) or "flat" (the index compiled into parallel
+    contiguous arrays — same results as the other two, fastest
+    marginals; compacts the pool as a side effect)."""
     if engine == "reference":
         return CoverageState(pool)
     if engine == "bitset":
         from repro.core.bitset_engine import BitsetCoverage
 
         return BitsetCoverage(pool)
+    if engine == "flat":
+        from repro.core.flat_engine import FlatCoverage
+
+        return FlatCoverage(pool)
     raise SolverError(
-        f"engine must be 'reference' or 'bitset', got {engine!r}"
+        f"engine must be 'reference', 'bitset' or 'flat', got {engine!r}"
     )
 
 
@@ -154,17 +159,19 @@ def greedy_eager_nu(
     pool: RICSamplePool,
     k: int,
     candidates: Optional[Iterable[int]] = None,
+    engine: str = "reference",
     deadline: Optional[Deadline] = None,
 ) -> List[int]:
     """Eager (recompute-everything) greedy on ``ν_R``.
 
     Exists as the reference implementation that
     :func:`lazy_greedy_nu` is validated against, and as the slow arm of
-    the CELF ablation benchmark.
+    the CELF ablation benchmark — hence the ``"reference"`` engine
+    default, overridable for cross-engine checks.
     """
     if k < 0:
         raise SolverError(f"k must be non-negative, got {k}")
-    state = CoverageState(pool)
+    state = _make_state(pool, engine)
     remaining = set(_candidates(pool, candidates))
     chosen: List[int] = []
     for _ in range(min(k, len(remaining))):

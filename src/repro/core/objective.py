@@ -190,3 +190,39 @@ class CoverageState:
                 if current + new >= threshold:
                     gain_c += 1
         return gain_c, gain_nu
+
+
+def evaluate_benefit(
+    pool: RICSamplePool, seeds: Iterable[int], engine: str = "reference"
+) -> float:
+    """One-shot ``ĉ_R(S)`` routed through the selected engine's arithmetic.
+
+    ``"reference"`` delegates to :meth:`RICSamplePool.estimate_benefit`
+    (per-sample member *sets*); ``"bitset"`` and ``"flat"`` union
+    per-sample member *masks* and popcount them — the same integer
+    influenced-count either way, hence bit-identical floats. Frequency
+    solvers (MAF, BT/MB) use this to honour their ``engine`` setting
+    for final seed-set evaluation without building full incremental
+    engine state for a single evaluation.
+    """
+    if engine == "reference":
+        return pool.estimate_benefit(seeds)
+    if engine not in ("bitset", "flat"):
+        raise SolverError(
+            f"engine must be 'reference', 'bitset' or 'flat', got {engine!r}"
+        )
+    if not pool.samples:
+        return 0.0
+    from repro.core.bitset_engine import _popcount
+
+    masks: Dict[int, int] = {}
+    for v in set(seeds):
+        for sample_idx, member_idx in pool.coverage_of(v):
+            masks[sample_idx] = masks.get(sample_idx, 0) | (1 << member_idx)
+    samples = pool.samples
+    influenced = sum(
+        1
+        for sample_idx, mask in masks.items()
+        if _popcount(mask) >= samples[sample_idx].threshold
+    )
+    return pool.total_benefit * influenced / len(samples)

@@ -31,10 +31,14 @@ class UBG:
         lazy: bool = True,
         run_c_greedy: bool = True,
         candidates: Optional[Iterable[int]] = None,
+        engine: str = "bitset",
         deadline: Optional[Deadline] = None,
     ) -> None:
         #: Use CELF for the ν arm (sound because ν is submodular).
         self.lazy = lazy
+        #: Coverage engine for both greedy arms: "reference", "bitset"
+        #: (default) or "flat" — identical seed sets, different speed.
+        self.engine = engine
         #: Also run greedy on ĉ_R (Alg. 2 line 2). Disabling keeps only
         #: the ν arm — the variant IMCAF integrates (Section V-B), whose
         #: ratio is consistent across stop stages.
@@ -70,7 +74,11 @@ class UBG:
         deadline = self.deadline
         nu_greedy = lazy_greedy_nu if self.lazy else greedy_eager_nu
         seeds_nu = nu_greedy(
-            pool, k, candidates=self.candidates, deadline=deadline
+            pool,
+            k,
+            candidates=self.candidates,
+            engine=self.engine,
+            deadline=deadline,
         )
         value_nu = pool.estimate_benefit(seeds_nu)
         upper_nu = pool.estimate_upper_bound(seeds_nu)
@@ -80,7 +88,11 @@ class UBG:
             deadline is not None and deadline.expired()
         ):
             seeds_c = greedy_maxr(
-                pool, k, candidates=self.candidates, deadline=deadline
+                pool,
+                k,
+                candidates=self.candidates,
+                engine=self.engine,
+                deadline=deadline,
             )
             value_c = pool.estimate_benefit(seeds_c)
         else:
@@ -121,12 +133,15 @@ class GreedyC:
     def __init__(
         self,
         candidates: Optional[Iterable[int]] = None,
+        engine: str = "bitset",
         deadline: Optional[Deadline] = None,
     ) -> None:
         #: Optional seeding-candidate restriction (None = all nodes).
         self.candidates: Optional[Set[int]] = (
             set(candidates) if candidates is not None else None
         )
+        #: Coverage engine for the greedy ("reference"/"bitset"/"flat").
+        self.engine = engine
         #: Optional time bound; best-so-far + ``truncated`` on expiry.
         self.deadline: Optional[Deadline] = as_deadline(deadline)
 
@@ -138,7 +153,11 @@ class GreedyC:
         """Greedy selection on ``ĉ_R`` (Alg. 2 line 2, standalone)."""
         check_positive(k, "k", SolverError)
         seeds = greedy_maxr(
-            pool, k, candidates=self.candidates, deadline=self.deadline
+            pool,
+            k,
+            candidates=self.candidates,
+            engine=self.engine,
+            deadline=self.deadline,
         )
         return SeedSelection(
             seeds=tuple(seeds),

@@ -15,6 +15,7 @@ from collections import deque
 from typing import Dict, Iterable, Set
 
 from repro.errors import GraphError
+from repro.graph.csr import FrozenDiGraph
 from repro.graph.digraph import DiGraph
 from repro.rng import SeedLike, make_rng
 
@@ -83,6 +84,24 @@ def simulate_lt(
         if s not in active:
             active.add(s)
             frontier.append(s)
+    if isinstance(graph, FrozenDiGraph):
+        # Frozen fast path: iterate the shared out_pairs traversal
+        # cache; threshold draws happen in the same lazy order, so the
+        # activation set matches the list-based walk exactly.
+        pairs = graph.out_pairs()
+        random = rng.random
+        while frontier:
+            u = frontier.popleft()
+            for v, w in pairs[u]:
+                if v in active:
+                    continue
+                if v not in thresholds:
+                    thresholds[v] = random()
+                incoming_active[v] = incoming_active.get(v, 0.0) + w
+                if incoming_active[v] >= thresholds[v]:
+                    active.add(v)
+                    frontier.append(v)
+        return active
     while frontier:
         u = frontier.popleft()
         targets, weights = graph.out_adjacency(u)

@@ -1,0 +1,284 @@
+"""Kernel microbenchmarks and the perf-regression trajectory artifact.
+
+The array-native kernel layer (frozen CSR sampling, flat coverage)
+exists purely for speed — results are byte-identical to the reference
+paths by construction. Speed claims rot silently, so this module
+measures them on a fixed synthetic workload and records the numbers in
+``benchmarks/BENCH_kernels.json``: a *trajectory* file that each
+``python -m repro bench --record`` run appends one entry to, giving
+future changes a perf baseline to diff against.
+
+Measured quantities per run:
+
+- sampling wall time and samples/sec for the mutable (dict/set) and
+  frozen (CSR) RIC kernels on the same seed — identical sample streams,
+  different machinery;
+- marginal-evaluation throughput (``gain_pair`` calls/sec) for the
+  reference, bitset and flat coverage engines over the same pool;
+- end-to-end seed selection (UBG) wall time per engine;
+- the combined speedup of the flat path (frozen sampling + flat
+  selection) over the dict/set reference path and over the bitset
+  default path;
+- peak RSS of the process (``resource.getrusage``).
+
+The workload is deterministic (fixed graph/community/sampling seeds);
+only the timings vary between runs, which is exactly what a trajectory
+is for.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import resource
+import sys
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.communities.structure import Community, CommunityStructure
+from repro.core.flat_engine import FlatCoverage
+from repro.core.ubg import UBG
+from repro.errors import ReproError
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import planted_partition_graph
+from repro.graph.weights import assign_weighted_cascade
+from repro.sampling.pool import RICSamplePool
+from repro.sampling.ric import RICSampler
+
+#: Artifact schema identifier (bump when entry fields change shape).
+SCHEMA = "repro-kernel-bench/1"
+
+#: Standard workload: a 600-node planted-partition graph, 20 ground-
+#: truth communities of 30, weighted-cascade weights, threshold 2.
+WORKLOAD = {
+    "graph": "planted_partition([30]*20, p_in=0.25, p_out=0.005)",
+    "weights": "weighted_cascade",
+    "threshold": 2,
+    "graph_seed": 17,
+    "sampling_seed": 11,
+}
+
+
+def build_workload() -> Tuple[DiGraph, CommunityStructure]:
+    """The fixed benchmark instance (see :data:`WORKLOAD`)."""
+    graph, blocks = planted_partition_graph(
+        [30] * 20,
+        p_in=0.25,
+        p_out=0.005,
+        directed=True,
+        seed=WORKLOAD["graph_seed"],
+    )
+    assign_weighted_cascade(graph)
+    communities = CommunityStructure(
+        [
+            Community(
+                members=tuple(block),
+                threshold=WORKLOAD["threshold"],
+                benefit=float(len(block)),
+            )
+            for block in blocks
+        ]
+    )
+    return graph, communities
+
+
+def _time_sampling(graph, communities, samples: int) -> Tuple[float, list]:
+    """Wall time to draw ``samples`` RIC samples on ``graph``."""
+    sampler = RICSampler(graph, communities, seed=WORKLOAD["sampling_seed"])
+    start = time.perf_counter()
+    out = sampler.sample_many(samples)
+    return time.perf_counter() - start, out
+
+
+def _time_sampling_interleaved(
+    variants, communities, samples: int, repeats: int = 3
+) -> Tuple[Dict[str, float], Dict[str, list]]:
+    """Best-of-``repeats`` sampling wall time per graph variant.
+
+    The passes are interleaved (mutable, frozen, mutable, frozen, ...)
+    so background load on a shared machine hits both kernels alike
+    instead of biasing whichever happened to run second; taking the
+    minimum then discards the noisy passes.
+    """
+    best: Dict[str, float] = {}
+    outputs: Dict[str, list] = {}
+    for _ in range(max(1, repeats)):
+        for name, graph in variants.items():
+            elapsed, out = _time_sampling(graph, communities, samples)
+            if name not in best or elapsed < best[name]:
+                best[name] = elapsed
+            outputs.setdefault(name, out)
+    return best, outputs
+
+
+def _marginal_throughput(state, nodes, min_seconds: float = 0.25) -> float:
+    """``gain_pair`` calls/sec of ``state``, measured over ``nodes``.
+
+    Loops whole passes over the candidate set until ``min_seconds``
+    elapsed, so per-call overhead dominates and one slow outlier pass
+    cannot skew the rate.
+    """
+    calls = 0
+    start = time.perf_counter()
+    while True:
+        for node in nodes:
+            state.gain_pair(node)
+        calls += len(nodes)
+        elapsed = time.perf_counter() - start
+        if elapsed >= min_seconds:
+            return calls / elapsed
+
+
+def run_kernel_bench(samples: int = 10_000, k: int = 10) -> Dict[str, Any]:
+    """Run the full microbenchmark suite once; return the entry dict.
+
+    ``samples`` is the pool size (the acceptance workload uses 10k);
+    ``k`` the seed budget for the end-to-end selection timing.
+    """
+    if samples < 1:
+        raise ReproError(f"samples must be positive, got {samples}")
+    graph, communities = build_workload()
+    frozen = graph.freeze()
+
+    times, outputs = _time_sampling_interleaved(
+        {"mutable": graph, "frozen": frozen}, communities, samples
+    )
+    t_mut, t_frozen = times["mutable"], times["frozen"]
+    out_mut, out_frozen = outputs["mutable"], outputs["frozen"]
+    if out_mut[: min(50, samples)] != out_frozen[: min(50, samples)]:
+        raise ReproError(
+            "frozen and mutable samplers disagree — kernel equivalence "
+            "is broken; fix that before trusting any timing"
+        )
+
+    pool = RICSamplePool(RICSampler(frozen, communities, seed=1))
+    pool.add_many(out_frozen)
+    del out_mut, out_frozen
+    compact_stats = pool.compact()
+    nodes = sorted(pool.touching_nodes())
+
+    from repro.core.bitset_engine import BitsetCoverage
+    from repro.core.objective import CoverageState
+
+    engines = {
+        "reference": CoverageState,
+        "bitset": BitsetCoverage,
+        "flat": FlatCoverage,
+    }
+    marginals: Dict[str, float] = {}
+    select_time: Dict[str, float] = {}
+    for name, factory in engines.items():
+        marginals[name] = _marginal_throughput(factory(pool), nodes)
+        start = time.perf_counter()
+        UBG(engine=name).solve(pool, k)
+        select_time[name] = time.perf_counter() - start
+
+    combined_flat = t_frozen + select_time["flat"]
+    combined_reference = t_mut + select_time["reference"]
+    combined_bitset = t_mut + select_time["bitset"]
+    peak_rss_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    return {
+        "samples": samples,
+        "k": k,
+        "sampling": {
+            "mutable_seconds": t_mut,
+            "frozen_seconds": t_frozen,
+            "mutable_samples_per_sec": samples / t_mut,
+            "frozen_samples_per_sec": samples / t_frozen,
+            "speedup": t_mut / t_frozen,
+        },
+        "marginals_per_sec": marginals,
+        "selection_seconds": select_time,
+        "combined": {
+            "flat_path_seconds": combined_flat,
+            "reference_path_seconds": combined_reference,
+            "bitset_path_seconds": combined_bitset,
+            "speedup_vs_reference": combined_reference / combined_flat,
+            "speedup_vs_bitset": combined_bitset / combined_flat,
+        },
+        "pool_compaction": compact_stats,
+        "peak_rss_kb": peak_rss_kb,
+        "python": sys.version.split()[0],
+    }
+
+
+def default_artifact_path() -> str:
+    """``benchmarks/BENCH_kernels.json`` relative to the repo root
+    (falls back to the current directory when run elsewhere)."""
+    here = os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__))
+    )))
+    candidate = os.path.join(here, "benchmarks")
+    base = candidate if os.path.isdir(candidate) else os.getcwd()
+    return os.path.join(base, "BENCH_kernels.json")
+
+
+def load_trajectory(path: str) -> Dict[str, Any]:
+    """Read the artifact; an empty skeleton when it does not exist."""
+    if not os.path.exists(path):
+        return {"schema": SCHEMA, "workload": dict(WORKLOAD), "trajectory": []}
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    if data.get("schema") != SCHEMA:
+        raise ReproError(
+            f"unexpected artifact schema {data.get('schema')!r} in {path}; "
+            f"this build writes {SCHEMA!r}"
+        )
+    return data
+
+
+def record_entry(
+    entry: Dict[str, Any], path: Optional[str] = None
+) -> Dict[str, Any]:
+    """Append ``entry`` to the trajectory artifact (atomic rewrite).
+
+    Returns the full artifact after the append. The write goes through
+    a temp file + ``os.replace`` so a crash cannot leave a torn JSON.
+    """
+    path = path or default_artifact_path()
+    data = load_trajectory(path)
+    stamped = dict(entry)
+    stamped["recorded_at"] = time.strftime(
+        "%Y-%m-%dT%H:%M:%SZ", time.gmtime()
+    )
+    data["trajectory"].append(stamped)
+    tmp = f"{path}.tmp"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(data, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    os.replace(tmp, path)
+    return data
+
+
+def format_entry(entry: Dict[str, Any]) -> str:
+    """Human-readable summary of one benchmark entry."""
+    sampling = entry["sampling"]
+    combined = entry["combined"]
+    lines: List[str] = [
+        f"workload: {WORKLOAD['graph']}, {entry['samples']} samples, "
+        f"k={entry['k']}",
+        (
+            "sampling:  mutable "
+            f"{sampling['mutable_samples_per_sec']:.0f}/s, frozen "
+            f"{sampling['frozen_samples_per_sec']:.0f}/s "
+            f"({sampling['speedup']:.2f}x)"
+        ),
+        "marginals: "
+        + ", ".join(
+            f"{name} {rate:.0f}/s"
+            for name, rate in entry["marginals_per_sec"].items()
+        ),
+        "selection: "
+        + ", ".join(
+            f"{name} {secs:.2f}s"
+            for name, secs in entry["selection_seconds"].items()
+        ),
+        (
+            "combined:  flat path "
+            f"{combined['flat_path_seconds']:.2f}s — "
+            f"{combined['speedup_vs_reference']:.2f}x vs reference, "
+            f"{combined['speedup_vs_bitset']:.2f}x vs bitset"
+        ),
+        f"peak RSS:  {entry['peak_rss_kb'] / 1024:.0f} MiB",
+    ]
+    return "\n".join(lines)

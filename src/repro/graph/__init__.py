@@ -6,6 +6,9 @@ This package provides:
 
 - :class:`~repro.graph.digraph.DiGraph` — the core adjacency structure
   with both forward and reverse adjacency (RIC sampling walks in-edges).
+- :class:`~repro.graph.csr.FrozenDiGraph` — the immutable CSR snapshot
+  (``DiGraph.freeze()``) the array-native sampling/simulation kernels
+  traverse; byte-identical results, contiguous storage.
 - :mod:`~repro.graph.builders` — construction from edge lists / files,
   undirected-to-directed conversion.
 - :mod:`~repro.graph.weights` — edge-weight schemes (weighted-cascade,
@@ -30,6 +33,7 @@ from repro.graph.builders import (
     from_undirected_edge_list,
     induced_subgraph,
 )
+from repro.graph.csr import FrozenDiGraph
 from repro.graph.digraph import DiGraph, Edge
 from repro.graph.generators import (
     barabasi_albert_graph,
@@ -55,6 +59,7 @@ from repro.graph.weights import (
 __all__ = [
     "DiGraph",
     "Edge",
+    "FrozenDiGraph",
     "from_edge_list",
     "from_undirected_edge_list",
     "induced_subgraph",

@@ -72,11 +72,20 @@ class DiGraph:
         return self._n - 1
 
     def add_nodes(self, count: int) -> None:
-        """Append ``count`` fresh nodes."""
+        """Append ``count`` fresh nodes.
+
+        Bulk-extends the four adjacency tables in one shot instead of
+        looping :meth:`add_node` — the difference between O(count) list
+        appends and four ``extend`` calls matters when synthetic
+        generators allocate 100k-node graphs up front.
+        """
         if count < 0:
             raise GraphError(f"cannot add a negative number of nodes: {count}")
-        for _ in range(count):
-            self.add_node()
+        self._out.extend([] for _ in range(count))
+        self._out_w.extend([] for _ in range(count))
+        self._in.extend([] for _ in range(count))
+        self._in_w.extend([] for _ in range(count))
+        self._n += count
 
     def add_edge(self, source: int, target: int, weight: float) -> None:
         """Add (or overwrite) the directed edge ``source -> target``.
@@ -175,12 +184,23 @@ class DiGraph:
     def in_adjacency(self, node: int) -> Tuple[List[int], List[float]]:
         """Parallel ``(sources, weights)`` lists of in-edges of ``node``.
 
-        Hot path for RIC sampling; returns internal lists without copying.
+        .. warning:: **Aliasing.** Hot path for RIC sampling: the
+           returned lists are the graph's *internal* adjacency storage,
+           not copies. Mutating them corrupts the edge index silently.
+           Treat them as frozen, or call :meth:`freeze` and use the
+           :class:`~repro.graph.csr.FrozenDiGraph` accessors, which
+           return genuinely immutable tuples.
         """
         return self._in[node], self._in_w[node]
 
     def out_adjacency(self, node: int) -> Tuple[List[int], List[float]]:
-        """Parallel ``(targets, weights)`` lists of out-edges of ``node``."""
+        """Parallel ``(targets, weights)`` lists of out-edges of ``node``.
+
+        .. warning:: **Aliasing.** Returns the internal lists without
+           copying, exactly like :meth:`in_adjacency` — read-only by
+           convention on the mutable graph, read-only by construction
+           after :meth:`freeze`.
+        """
         return self._out[node], self._out_w[node]
 
     def out_degree(self, node: int) -> int:
@@ -233,6 +253,20 @@ class DiGraph:
         for u, v, w in self.edges():
             clone.add_edge(u, v, w)
         return clone
+
+    def freeze(self):
+        """Snapshot into an immutable CSR :class:`~repro.graph.csr.FrozenDiGraph`.
+
+        The snapshot preserves adjacency order exactly, so samplers and
+        simulators consume their RNG streams identically on either
+        representation; it is the layout the array-native hot-path
+        kernels (RIC/RR sampling, IC/LT cascades) run fastest on. The
+        original graph is untouched and may keep growing — the snapshot
+        does not follow later mutations.
+        """
+        from repro.graph.csr import FrozenDiGraph
+
+        return FrozenDiGraph.from_digraph(self)
 
     def __repr__(self) -> str:
         return f"DiGraph(n={self._n}, m={self._m})"

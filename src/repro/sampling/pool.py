@@ -46,13 +46,27 @@ class RICSamplePool:
         return self.sampler.communities.total_benefit
 
     def add(self, sample: RICSample) -> None:
-        """Append one sample and update all indexes."""
+        """Append one sample and update all indexes.
+
+        A pool sealed by :meth:`compact` may keep growing: appending to
+        a node whose coverage entry was frozen into a tuple thaws that
+        entry back into a list (re-run :meth:`compact` to re-seal).
+        """
         index = len(self.samples)
         self.samples.append(sample)
+        coverage = self._coverage
         touched: Set[int] = set()
         for member_idx, reach in enumerate(sample.reach_sets):
             for node in reach:
-                self._coverage.setdefault(node, []).append((index, member_idx))
+                entry = coverage.get(node)
+                if entry is None:
+                    coverage[node] = [(index, member_idx)]
+                elif type(entry) is tuple:
+                    thawed = list(entry)
+                    thawed.append((index, member_idx))
+                    coverage[node] = thawed
+                else:
+                    entry.append((index, member_idx))
                 touched.add(node)
         for node in touched:
             self._touch_counts[node] = self._touch_counts.get(node, 0) + 1
@@ -82,8 +96,69 @@ class RICSamplePool:
         self.grow(max(0, target - len(self.samples)))
 
     def coverage_of(self, node: int) -> Sequence[Tuple[int, int]]:
-        """``(sample_idx, member_idx)`` pairs covered by ``node``."""
+        """``(sample_idx, member_idx)`` pairs covered by ``node``.
+
+        .. warning:: **Aliasing.** On a pool that has not been sealed
+           by :meth:`compact`, this returns the *internal* index list,
+           not a copy — mutating it corrupts the inverted index
+           silently. After :meth:`compact` the entry is an immutable
+           tuple (read-only by construction), which is what the
+           coverage engines consume.
+        """
         return self._coverage.get(node, ())
+
+    def compact(self) -> Dict[str, int]:
+        """Intern duplicate reach sets and seal the inverted index.
+
+        Two effects, both idempotent:
+
+        - **Reach-set interning** — RIC samples over a common graph
+          repeat reach sets constantly (a node with one realised
+          in-path yields the same frozenset in many samples). Keeping
+          one canonical frozenset per distinct value (frozenset → id
+          mapping) drops the duplicates' memory and makes later
+          equality checks pointer comparisons. Samples are rewritten
+          in place to reference the canonical objects; values are
+          unchanged, so estimators and golden results are unaffected.
+        - **Index sealing** — every coverage entry is converted from a
+          list to an immutable tuple, so engine compile passes cannot
+          accidentally mutate the index they iterate
+          (:meth:`coverage_of` documents the aliasing hazard on the
+          unsealed path).
+
+        Returns a stats dict: ``reach_sets`` (total), ``unique_reach_sets``,
+        ``interned_duplicates`` (references rewritten to a canonical
+        object this call), and ``coverage_entries``.
+        """
+        canonical: Dict[FrozenSet[int], FrozenSet[int]] = {}
+        total = 0
+        rewritten = 0
+        for sample in self.samples:
+            new_sets = []
+            changed = False
+            for reach in sample.reach_sets:
+                total += 1
+                kept = canonical.setdefault(reach, reach)
+                if kept is not reach:
+                    changed = True
+                    rewritten += 1
+                new_sets.append(kept)
+            if changed:
+                # RICSample is a frozen dataclass; rewriting the field
+                # through object.__setattr__ preserves value equality
+                # while sharing the canonical frozensets.
+                object.__setattr__(sample, "reach_sets", tuple(new_sets))
+        entries = 0
+        for node, pairs in self._coverage.items():
+            entries += len(pairs)
+            if type(pairs) is list:
+                self._coverage[node] = tuple(pairs)
+        return {
+            "reach_sets": total,
+            "unique_reach_sets": len(canonical),
+            "interned_duplicates": rewritten,
+            "coverage_entries": entries,
+        }
 
     def touch_count(self, node: int) -> int:
         """Number of distinct samples ``node`` touches (MAF frequency)."""

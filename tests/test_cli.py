@@ -215,3 +215,62 @@ def test_compare_command_repeated_trials(capsys):
     out = capsys.readouterr().out
     assert "±" in out
     assert "3 trials" in out
+
+
+def test_solve_command_flat_engine_and_freeze_match_default(capsys):
+    base_args = [
+        "solve",
+        "--dataset",
+        "facebook",
+        "--scale",
+        "0.08",
+        "--solver",
+        "UBG",
+        "--k",
+        "4",
+        "--max-samples",
+        "800",
+        "--eval-trials",
+        "0",
+        "--seed",
+        "4",
+    ]
+    assert main(base_args) == 0
+    default_out = capsys.readouterr().out
+    assert (
+        main(base_args + ["--coverage-engine", "flat", "--freeze"]) == 0
+    )
+    fast_out = capsys.readouterr().out
+    # Same seeds and objective: the kernels change speed, not results.
+    assert default_out == fast_out
+
+
+def test_bench_command_records_trajectory(capsys, tmp_path):
+    artifact = tmp_path / "BENCH_kernels.json"
+    args = [
+        "bench",
+        "--samples",
+        "120",
+        "--k",
+        "3",
+        "--record",
+        "--output",
+        str(artifact),
+    ]
+    assert main(args) == 0
+    out = capsys.readouterr().out
+    assert "combined:" in out and "vs reference" in out
+    assert "recorded entry 1" in out
+
+    from repro.experiments.kernel_bench import SCHEMA, load_trajectory
+
+    data = load_trajectory(str(artifact))
+    assert data["schema"] == SCHEMA
+    (entry,) = data["trajectory"]
+    assert entry["samples"] == 120
+    assert entry["recorded_at"].endswith("Z")
+    assert set(entry["marginals_per_sec"]) == {"reference", "bitset", "flat"}
+    # A second run appends rather than overwrites.
+    assert main(args) == 0
+    assert "recorded entry 2" in capsys.readouterr().out
+    assert len(load_trajectory(str(artifact))["trajectory"]) == 2

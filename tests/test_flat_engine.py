@@ -1,0 +1,198 @@
+"""FlatCoverage engine and pool compaction unit tests.
+
+The flat engine must be behaviourally indistinguishable from
+``CoverageState``/``BitsetCoverage`` (the hypothesis suite cross-checks
+random pools; here we pin the engine-specific mechanics: compilation,
+sync guards, resync after growth, and the compaction contract).
+"""
+
+import pytest
+
+from repro.communities.structure import Community, CommunityStructure
+from repro.core.bitset_engine import BitsetCoverage
+from repro.core.flat_engine import FlatCoverage
+from repro.core.objective import CoverageState, evaluate_benefit
+from repro.core.ubg import UBG
+from repro.errors import SolverError
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import planted_partition_graph
+from repro.graph.weights import assign_weighted_cascade
+from repro.sampling.pool import RICSamplePool
+from repro.sampling.ric import RICSample, RICSampler
+
+
+def build_pool(samples=120, seed=3):
+    graph, blocks = planted_partition_graph(
+        [8] * 4, p_in=0.4, p_out=0.03, directed=True, seed=13
+    )
+    assign_weighted_cascade(graph)
+    communities = CommunityStructure(
+        [
+            Community(members=tuple(b), threshold=2, benefit=float(len(b)))
+            for b in blocks
+        ]
+    )
+    pool = RICSamplePool(RICSampler(graph.freeze(), communities, seed=seed))
+    pool.grow(samples)
+    return pool
+
+
+def tiny_pool():
+    communities = CommunityStructure(
+        [Community(members=(0, 1), threshold=2, benefit=3.0)]
+    )
+    pool = RICSamplePool(RICSampler(DiGraph(6), communities, seed=0))
+    pool.add(
+        RICSample(0, 2, (0, 1), (frozenset({0, 4}), frozenset({1, 4})))
+    )
+    pool.add(
+        RICSample(0, 2, (0, 1), (frozenset({0, 4}), frozenset({1, 4})))
+    )
+    return pool
+
+
+def test_flat_matches_reference_on_every_gain():
+    pool = build_pool()
+    reference = CoverageState(pool)
+    flat = FlatCoverage(pool)
+    nodes = pool.touching_nodes()
+    for _ in range(4):
+        for v in nodes:
+            assert flat.gain_pair(v) == reference.gain_pair(v)
+        best = max(
+            (v for v in nodes if v not in reference.seeds),
+            key=lambda v: reference.gain_pair(v),
+        )
+        reference.add_seed(best)
+        flat.add_seed(best)
+        assert flat.influenced_count == reference.influenced_count
+        assert flat.fractional_count == pytest.approx(
+            reference.fractional_count
+        )
+        assert flat.estimate_benefit() == pytest.approx(
+            reference.estimate_benefit()
+        )
+        assert flat.estimate_upper_bound() == pytest.approx(
+            reference.estimate_upper_bound()
+        )
+
+
+def test_flat_rejects_duplicate_seed_and_unknown_node_is_zero():
+    pool = build_pool(samples=40)
+    flat = FlatCoverage(pool)
+    node = pool.touching_nodes()[0]
+    flat.add_seed(node)
+    with pytest.raises(SolverError):
+        flat.add_seed(node)
+    assert flat.gain_pair(node) == (0, 0.0)
+    # A node touching no sample gains nothing (and is not an error).
+    untouched = max(pool.touching_nodes()) + 1
+    assert flat.gain_pair(untouched) == (0, 0.0)
+    assert flat.gain_influenced(untouched) == 0
+    assert flat.gain_fractional(untouched) == 0.0
+
+
+def test_flat_stale_pool_guard_and_resync():
+    pool = build_pool(samples=60)
+    flat = FlatCoverage(pool)
+    node = pool.touching_nodes()[0]
+    flat.add_seed(node)
+    pool.grow(40)
+    with pytest.raises(SolverError):
+        flat.gain_pair(node)
+    with pytest.raises(SolverError):
+        flat.estimate_benefit()
+    flat.resync()
+    fresh = CoverageState(pool)
+    fresh.add_seed(node)
+    assert flat.influenced_count == fresh.influenced_count
+    for v in pool.touching_nodes():
+        assert flat.gain_pair(v) == fresh.gain_pair(v)
+    flat.resync()  # no-op when already synced
+
+
+def test_flat_on_empty_pool():
+    communities = CommunityStructure(
+        [Community(members=(0,), threshold=1, benefit=1.0)]
+    )
+    pool = RICSamplePool(RICSampler(DiGraph(2), communities, seed=0))
+    flat = FlatCoverage(pool)
+    assert flat.estimate_benefit() == 0.0
+    assert flat.estimate_upper_bound() == 0.0
+    assert flat.gain_pair(0) == (0, 0.0)
+
+
+def test_compact_interns_duplicate_reach_sets():
+    pool = tiny_pool()
+    first, second = pool.samples
+    assert first.reach_sets[0] is not second.reach_sets[0]
+    stats = pool.compact()
+    assert stats["reach_sets"] == 4
+    assert stats["unique_reach_sets"] == 2
+    assert stats["interned_duplicates"] == 2
+    first, second = pool.samples
+    assert first.reach_sets[0] is second.reach_sets[0]
+    assert first.reach_sets[1] is second.reach_sets[1]
+    # Idempotent: a second pass finds nothing left to intern.
+    again = pool.compact()
+    assert again["interned_duplicates"] == 0
+
+
+def test_compact_seals_coverage_then_add_thaws():
+    pool = tiny_pool()
+    pool.compact()
+    assert isinstance(pool.coverage_of(0), tuple)
+    snapshot = pool.influenced_count([0, 1])
+    pool.add(
+        RICSample(0, 2, (0, 1), (frozenset({0}), frozenset({1})))
+    )
+    assert pool.influenced_count([0, 1]) == snapshot + 1
+    # The thawed entry is a list again and indexes the new sample.
+    assert pool.coverage_of(0)[-1] == (2, 0)
+
+
+def test_compact_preserves_objectives_and_selection():
+    pool = build_pool(samples=150)
+    seeds_before = UBG().solve(pool, 4).seeds
+    benefit_before = pool.estimate_benefit(seeds_before)
+    pool.compact()
+    assert UBG().solve(pool, 4).seeds == seeds_before
+    assert pool.estimate_benefit(seeds_before) == benefit_before
+
+
+def test_evaluate_benefit_identical_across_engines():
+    pool = build_pool(samples=100)
+    seeds = pool.touching_nodes()[:5]
+    reference = evaluate_benefit(pool, seeds, "reference")
+    assert evaluate_benefit(pool, seeds, "bitset") == reference
+    assert evaluate_benefit(pool, seeds, "flat") == reference
+    assert evaluate_benefit(pool, [], "flat") == 0.0
+    with pytest.raises(SolverError):
+        evaluate_benefit(pool, seeds, "warp-drive")
+
+
+def test_solvers_accept_flat_engine():
+    pool = build_pool(samples=120)
+    default = UBG().solve(pool, 5)
+    flat = UBG(engine="flat").solve(pool, 5)
+    assert flat.seeds == default.seeds
+    assert flat.objective == pytest.approx(default.objective)
+    with pytest.raises(SolverError):
+        UBG(engine="nope").solve(pool, 5)
+
+
+def test_bitset_and_flat_agree_after_interleaved_growth():
+    pool = build_pool(samples=80)
+    bitset = BitsetCoverage(pool)
+    flat = FlatCoverage(pool)
+    for round_idx in range(3):
+        pool.grow(30)
+        bitset.resync()
+        flat.resync()
+        for v in pool.touching_nodes():
+            assert flat.gain_pair(v) == bitset.gain_pair(v)
+        seed = pool.touching_nodes()[round_idx * 3]
+        if seed not in flat.seeds:
+            bitset.add_seed(seed)
+            flat.add_seed(seed)
+    assert flat.influenced_count == bitset.influenced_count

@@ -89,3 +89,20 @@ def test_parallel_speedup_on_multicore():
         sampler.sample_many(count)
         parallel_elapsed = time.perf_counter() - start
     assert serial_elapsed / parallel_elapsed >= 2.0
+
+
+@pytest.mark.slow
+def test_flat_kernels_not_slower_than_reference():
+    """Excluded from tier-1 (slow, timing-sensitive): the array-native
+    kernels must beat the dict/set reference path on the standard
+    benchmark workload — the whole point of ``engine="flat"``. Uses the
+    same machinery as ``python -m repro bench`` at reduced scale."""
+    from repro.experiments.kernel_bench import run_kernel_bench
+
+    entry = run_kernel_bench(samples=2000, k=5)
+    marginals = entry["marginals_per_sec"]
+    # Flat marginal evaluation should be several times faster than the
+    # reference sets; 1.5x is a deliberately loose floor for CI noise.
+    assert marginals["flat"] > 1.5 * marginals["reference"]
+    combined = entry["combined"]
+    assert combined["speedup_vs_reference"] > 1.5
