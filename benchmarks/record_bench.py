@@ -4,11 +4,14 @@ Thin wrapper around :mod:`repro.experiments.kernel_bench` so the
 perf-regression trajectory can be refreshed without remembering CLI
 flags::
 
-    PYTHONPATH=src python benchmarks/record_bench.py [samples] [k]
+    PYTHONPATH=src python benchmarks/record_bench.py [samples] [k] [--allow-dirty]
 
 Equivalent to ``python -m repro bench --record``. The artifact lives
-next to this script; each run appends one timestamped entry, so the
-file is a trajectory of kernel performance over the repo's history.
+next to this script; each run appends one timestamped entry stamped
+with the environment fingerprint (git SHA, interpreter, platform), so
+the file is a trajectory of kernel performance over the repo's
+history. Because the stamped SHA must describe the measured code, a
+dirty working tree is refused unless ``--allow-dirty`` is passed.
 """
 
 from __future__ import annotations
@@ -19,8 +22,10 @@ import sys
 def main(argv=None) -> int:
     """Run the kernel bench once and append it to the trajectory."""
     argv = sys.argv[1:] if argv is None else argv
-    samples = int(argv[0]) if len(argv) > 0 else 10_000
-    k = int(argv[1]) if len(argv) > 1 else 10
+    allow_dirty = "--allow-dirty" in argv
+    positional = [a for a in argv if not a.startswith("--")]
+    samples = int(positional[0]) if len(positional) > 0 else 10_000
+    k = int(positional[1]) if len(positional) > 1 else 10
 
     from repro.experiments.kernel_bench import (
         default_artifact_path,
@@ -28,7 +33,9 @@ def main(argv=None) -> int:
         record_entry,
         run_kernel_bench,
     )
+    from repro.obs import require_clean_tree
 
+    require_clean_tree(allow_dirty)
     entry = run_kernel_bench(samples=samples, k=k)
     print(format_entry(entry))
     data = record_entry(entry)

@@ -7,6 +7,12 @@ Four subcommands cover the common workflows::
     python -m repro solve --dataset facebook --solver UBG --k 10
     python -m repro figure fig5 --dataset facebook
     python -m repro bench --record   # kernel perf trajectory
+    python -m repro report run.manifest.json   # render a run manifest
+
+``solve`` and ``compare`` accept ``--trace-out``/``--metrics-out`` to
+record structured spans/metrics plus a run manifest through
+``repro.obs`` (see ``docs/observability.md``); results are identical
+with or without instrumentation.
 
 All randomness is controlled by ``--seed``; every command prints plain
 ASCII tables (the same renderer the benchmark harness uses).
@@ -127,6 +133,7 @@ def _build_parser() -> argparse.ArgumentParser:
             "seed set is returned flagged as truncated"
         ),
     )
+    _add_observability_flags(solve)
 
     compare = sub.add_parser(
         "compare", help="run several algorithms on one instance"
@@ -170,6 +177,7 @@ def _build_parser() -> argparse.ArgumentParser:
             "flag an existing checkpoint is discarded and restarted)"
         ),
     )
+    _add_observability_flags(compare)
 
     bench = sub.add_parser(
         "bench",
@@ -198,6 +206,23 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="trajectory artifact to append to (default: the repo's)",
     )
+    bench.add_argument(
+        "--allow-dirty",
+        action="store_true",
+        help=(
+            "record even from a dirty git working tree (the stamped "
+            "SHA will not describe the measured code)"
+        ),
+    )
+
+    report = sub.add_parser(
+        "report",
+        help="render a run manifest or trace JSONL as plain text",
+    )
+    report.add_argument(
+        "path",
+        help="a *.manifest.json (or trace *.jsonl) produced by --trace-out",
+    )
 
     figure = sub.add_parser("figure", help="regenerate a paper figure")
     figure.add_argument(
@@ -210,6 +235,64 @@ def _build_parser() -> argparse.ArgumentParser:
     figure.add_argument("--seed", type=int, default=7)
 
     return parser
+
+
+def _add_observability_flags(subparser) -> None:
+    subparser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help=(
+            "stream structured spans to this JSONL file and write a "
+            "run manifest next to it (see docs/observability.md)"
+        ),
+    )
+    subparser.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="dump the run's counters/gauges/histograms to this JSONL file",
+    )
+
+
+def _with_observability(args, command: str, run) -> int:
+    """Run ``run()`` inside an instrumentation session when requested.
+
+    With neither ``--trace-out`` nor ``--metrics-out`` this is a plain
+    call — the no-op gate stays closed and results are byte-identical.
+    Otherwise a session wraps the command and a manifest is written next
+    to the trace (or metrics) artifact.
+    """
+    if not (args.trace_out or args.metrics_out):
+        return run()
+    from repro import obs
+
+    with obs.session(
+        trace_out=args.trace_out, metrics_out=args.metrics_out
+    ) as recorder:
+        code = run()
+    artifacts = {}
+    if args.trace_out:
+        artifacts["trace"] = args.trace_out
+    if args.metrics_out:
+        artifacts["metrics"] = args.metrics_out
+    manifest = obs.build_manifest(
+        command,
+        config={
+            key: value
+            for key, value in vars(args).items()
+            if key != "command"
+        },
+        seeds={"seed": args.seed},
+        spans=recorder.spans,
+        metrics_snapshot=recorder.metrics,
+        artifacts=artifacts,
+    )
+    path = obs.write_manifest(
+        manifest, obs.manifest_path_for(args.trace_out or args.metrics_out)
+    )
+    print(f"manifest: {path}")
+    return code
 
 
 def _make_solver(name: str, seed: Optional[int]):
@@ -404,6 +487,10 @@ def _cmd_bench(args) -> int:
         run_kernel_bench,
     )
 
+    if args.record:
+        from repro.obs import require_clean_tree
+
+        require_clean_tree(args.allow_dirty)
     entry = run_kernel_bench(samples=args.samples, k=args.k)
     print(format_entry(entry))
     if args.record:
@@ -414,6 +501,13 @@ def _cmd_bench(args) -> int:
         print(
             f"recorded entry {len(data['trajectory'])} in {path}"
         )
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.obs import render_report
+
+    print(render_report(args.path))
     return 0
 
 
@@ -475,11 +569,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if args.command == "table1":
             return _cmd_table1(args)
         if args.command == "solve":
-            return _cmd_solve(args)
+            return _with_observability(args, "solve", lambda: _cmd_solve(args))
         if args.command == "compare":
-            return _cmd_compare(args)
+            return _with_observability(
+                args, "compare", lambda: _cmd_compare(args)
+            )
         if args.command == "bench":
             return _cmd_bench(args)
+        if args.command == "report":
+            return _cmd_report(args)
         if args.command == "figure":
             return _cmd_figure(args)
     except ReproError as exc:

@@ -15,6 +15,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Sequence, Tuple
 
 from repro.errors import SolverError
+from repro.obs import metrics
 from repro.sampling.pool import RICSamplePool
 
 # int.bit_count() exists from Python 3.10; fall back for 3.9.
@@ -78,6 +79,7 @@ class BitsetCoverage:
         old = self._synced_samples
         if len(samples) == old:
             return
+        metrics.inc("coverage.resyncs")
         grown = len(samples) - old
         self._thresholds.extend(s.threshold for s in samples[old:])
         self._covered_mask.extend([0] * grown)

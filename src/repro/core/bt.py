@@ -35,6 +35,7 @@ from repro.core.maf import MAF
 from repro.core.objective import evaluate_benefit
 from repro.core.solution import SeedSelection
 from repro.errors import SolverError
+from repro.obs import trace
 from repro.rng import SeedLike
 from repro.sampling.pool import RICSamplePool
 from repro.utils.heap import LazyMaxHeap
@@ -288,16 +289,17 @@ class BT:
         """Run BT^(d) on the pool."""
         check_positive(k, "k", SolverError)
         self._check_bound(pool)
-        collection = _Collection.from_pool(pool)
         deadline = self.deadline
-        seeds = _bt_solve(
-            collection,
-            k,
-            self.threshold_bound,
-            self.candidate_limit,
-            allowed=self.candidates,
-            deadline=deadline,
-        )
+        with trace.span("bt/select", k=k, num_samples=len(pool)):
+            collection = _Collection.from_pool(pool)
+            seeds = _bt_solve(
+                collection,
+                k,
+                self.threshold_bound,
+                self.candidate_limit,
+                allowed=self.candidates,
+                deadline=deadline,
+            )
         return SeedSelection(
             seeds=tuple(seeds),
             objective=evaluate_benefit(pool, seeds, self.engine),
@@ -382,7 +384,8 @@ class MB:
         prior_maf_engine, prior_bt_engine = self._maf.engine, self._bt.engine
         self._maf.engine = self._bt.engine = self.engine
         try:
-            maf_result = self._maf.solve(pool, k)
+            with trace.span("mb/maf_arm", k=k, num_samples=len(pool)):
+                maf_result = self._maf.solve(pool, k)
             if (
                 deadline is not None
                 and maf_result.seeds
@@ -391,7 +394,8 @@ class MB:
                 bt_result = None
                 winner = maf_result
             else:
-                bt_result = self._bt.solve(pool, k)
+                with trace.span("mb/bt_arm", k=k, num_samples=len(pool)):
+                    bt_result = self._bt.solve(pool, k)
                 winner = (
                     maf_result
                     if maf_result.objective >= bt_result.objective

@@ -36,6 +36,7 @@ from array import array
 from typing import Dict, List, Tuple
 
 from repro.errors import SolverError
+from repro.obs import metrics
 from repro.sampling.pool import RICSamplePool
 
 # int.bit_count() exists from Python 3.10; fall back for 3.9.
@@ -124,6 +125,7 @@ class FlatCoverage:
         """
         if len(self.pool.samples) == self._synced_samples:
             return
+        metrics.inc("coverage.resyncs")
         self.pool.compact()
         self._compile()
 

@@ -31,6 +31,7 @@ from repro.core.solution import SeedSelection
 from repro.diffusion.estimators import dagum_stopping_rule
 from repro.errors import DeadlineExceededError, SolverError
 from repro.graph.digraph import DiGraph
+from repro.obs import metrics, trace
 from repro.rng import SeedLike, make_rng, spawn_rng
 from repro.sampling.parallel import ParallelRICSampler
 from repro.sampling.pool import RICSamplePool
@@ -250,9 +251,11 @@ def solve_imc(
     ``{stage, num_samples, coverage, objective, lambda, psi,
     sampling_profile}`` — the hook long-running callers use for
     logging/UI without the library imposing a logging policy.
-    ``sampling_profile`` carries the parallel engine's samples/sec,
-    batch sizes and worker utilisation (``None`` under the serial
-    engine).
+    ``sampling_profile`` carries the active engine's unified sampling
+    profile (:data:`repro.sampling.profile.PROFILE_KEYS`): samples/sec,
+    batch shape, worker utilisation and self-healing counters. Both
+    engines emit the same key set; under the serial engine the fan-out
+    fields are trivial (``mode="serial"``, one batch, no utilisation).
 
     ``deadline`` bounds wall-clock time: seconds (float) or a
     :class:`~repro.utils.retry.Deadline`. It is checked between stop
@@ -345,7 +348,8 @@ def solve_imc(
 
     try:
         pool.grow_to(math.ceil(lam))
-        selection = solver.solve(pool, k)
+        with trace.span("imc/select", stage=1, num_samples=len(pool)):
+            selection = solver.solve(pool, k)
 
         while True:
             iterations += 1
@@ -354,7 +358,11 @@ def solve_imc(
             # pool — CoverageState / BitsetCoverage snapshot the sample
             # count and fail fast if reused across a grow(). Calling
             # solver.solve afresh per stage is that rebuild.
-            selection = solver.solve(pool, k) if iterations > 1 else selection
+            if iterations > 1:
+                with trace.span(
+                    "imc/select", stage=iterations, num_samples=len(pool)
+                ):
+                    selection = solver.solve(pool, k)
             if out_of_time():
                 if not selection.seeds:
                     raise DeadlineExceededError(
@@ -362,9 +370,11 @@ def solve_imc(
                         "seed (no best-so-far result to return)"
                     )
                 stopped_by = "deadline"
+                metrics.inc("deadline.truncated")
                 selection = replace(selection, truncated=True)
                 break
-            coverage = pool.influenced_count(selection.seeds)
+            with trace.span("imc/evaluate", stage=iterations):
+                coverage = pool.influenced_count(selection.seeds)
             if progress is not None:
                 progress(
                     {
@@ -388,13 +398,14 @@ def solve_imc(
                 t_max = math.ceil(
                     len(pool) * (1.0 + eps_stage) / (1.0 - eps_stage)
                 )
-                estimate = estimate_benefit(
-                    estimate_sampler,
-                    selection.seeds,
-                    epsilon=eps_stage,
-                    delta=min(delta_stage, 0.5),
-                    max_trials=t_max,
-                )
+                with trace.span("imc/estimate", stage=iterations):
+                    estimate = estimate_benefit(
+                        estimate_sampler,
+                        selection.seeds,
+                        epsilon=eps_stage,
+                        delta=min(delta_stage, 0.5),
+                        max_trials=t_max,
+                    )
                 if estimate.converged and estimate.value is not None:
                     benefit_estimate = estimate.value
                     if selection.objective <= (1.0 + eps_stage) * estimate.value:
@@ -407,6 +418,7 @@ def solve_imc(
                 # Growing the pool is the expensive step; don't start it
                 # on an expired budget.
                 stopped_by = "deadline"
+                metrics.inc("deadline.truncated")
                 selection = replace(selection, truncated=True)
                 break
             pool.grow(min(len(pool), math.ceil(cap) - len(pool)))

@@ -18,6 +18,7 @@ from typing import Iterable, List, Optional, Set
 from repro.core.objective import evaluate_benefit
 from repro.core.solution import SeedSelection
 from repro.errors import SolverError
+from repro.obs import trace
 from repro.rng import SeedLike, make_rng
 from repro.sampling.pool import RICSamplePool
 from repro.utils.retry import Deadline, as_deadline
@@ -95,11 +96,13 @@ class MAF:
         """Run Algorithm 3 on the pool."""
         check_positive(k, "k", SolverError)
         deadline = self.deadline
-        s1 = self._build_s1(pool, k)
+        with trace.span("maf/s1_communities", k=k, num_samples=len(pool)):
+            s1 = self._build_s1(pool, k)
         if deadline is not None and s1 and deadline.expired():
             s2: List[int] = []
         else:
-            s2 = self._build_s2(pool, k)
+            with trace.span("maf/s2_nodes", k=k, num_samples=len(pool)):
+                s2 = self._build_s2(pool, k)
         value_1 = evaluate_benefit(pool, s1, self.engine)
         value_2 = evaluate_benefit(pool, s2, self.engine)
         if value_1 >= value_2:

@@ -17,6 +17,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.errors import SolverError
+from repro.obs import metrics
 from repro.sampling.pool import RICSamplePool
 
 
@@ -61,6 +62,7 @@ class CoverageState:
         old = self._synced_samples
         if len(samples) == old:
             return
+        metrics.inc("coverage.resyncs")
         self._covered.extend(set() for _ in range(len(samples) - old))
         self._synced_samples = len(samples)
         for node in self.seeds:

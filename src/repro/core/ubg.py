@@ -16,6 +16,7 @@ from typing import Iterable, Optional, Set
 from repro.core.greedy import greedy_maxr, lazy_greedy_nu
 from repro.core.solution import SeedSelection
 from repro.errors import SolverError
+from repro.obs import trace
 from repro.sampling.pool import RICSamplePool
 from repro.utils.retry import Deadline, as_deadline
 from repro.utils.validation import check_positive
@@ -73,28 +74,30 @@ class UBG:
 
         deadline = self.deadline
         nu_greedy = lazy_greedy_nu if self.lazy else greedy_eager_nu
-        seeds_nu = nu_greedy(
-            pool,
-            k,
-            candidates=self.candidates,
-            engine=self.engine,
-            deadline=deadline,
-        )
-        value_nu = pool.estimate_benefit(seeds_nu)
-        upper_nu = pool.estimate_upper_bound(seeds_nu)
-        sandwich = value_nu / upper_nu if upper_nu > 0 else 1.0
-
-        if self.run_c_greedy and not (
-            deadline is not None and deadline.expired()
-        ):
-            seeds_c = greedy_maxr(
+        with trace.span("ubg/nu_arm", k=k, num_samples=len(pool)):
+            seeds_nu = nu_greedy(
                 pool,
                 k,
                 candidates=self.candidates,
                 engine=self.engine,
                 deadline=deadline,
             )
-            value_c = pool.estimate_benefit(seeds_c)
+            value_nu = pool.estimate_benefit(seeds_nu)
+            upper_nu = pool.estimate_upper_bound(seeds_nu)
+        sandwich = value_nu / upper_nu if upper_nu > 0 else 1.0
+
+        if self.run_c_greedy and not (
+            deadline is not None and deadline.expired()
+        ):
+            with trace.span("ubg/c_arm", k=k, num_samples=len(pool)):
+                seeds_c = greedy_maxr(
+                    pool,
+                    k,
+                    candidates=self.candidates,
+                    engine=self.engine,
+                    deadline=deadline,
+                )
+                value_c = pool.estimate_benefit(seeds_c)
         else:
             seeds_c, value_c = [], float("-inf")
 
@@ -152,13 +155,14 @@ class GreedyC:
     def solve(self, pool: RICSamplePool, k: int) -> SeedSelection:
         """Greedy selection on ``ĉ_R`` (Alg. 2 line 2, standalone)."""
         check_positive(k, "k", SolverError)
-        seeds = greedy_maxr(
-            pool,
-            k,
-            candidates=self.candidates,
-            engine=self.engine,
-            deadline=self.deadline,
-        )
+        with trace.span("greedyc/select", k=k, num_samples=len(pool)):
+            seeds = greedy_maxr(
+                pool,
+                k,
+                candidates=self.candidates,
+                engine=self.engine,
+                deadline=self.deadline,
+            )
         return SeedSelection(
             seeds=tuple(seeds),
             objective=pool.estimate_benefit(seeds),

@@ -80,3 +80,11 @@ class DatasetError(ReproError):
 
 class ExperimentError(ReproError):
     """Raised for malformed experiment configurations."""
+
+
+class ObservabilityError(ReproError):
+    """Raised for misuse of the :mod:`repro.obs` instrumentation layer.
+
+    Examples: nesting instrumentation sessions (only one may be active
+    per process) or loading a file that is not a run manifest.
+    """

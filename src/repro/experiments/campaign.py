@@ -9,13 +9,21 @@ cell and returns flat records ready for
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import ExperimentError
 from repro.experiments.checkpoint import CheckpointStore, as_checkpoint
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import AlgorithmRun, run_suite
+from repro.obs import (
+    build_manifest,
+    enabled as obs_enabled,
+    manifest_path_for,
+    metrics,
+    trace,
+    write_manifest,
+)
 
 
 @dataclass(frozen=True)
@@ -98,6 +106,7 @@ def run_campaign(
     for index, (dataset, threshold, formation) in enumerate(grid):
         key = cell_key(dataset, threshold, formation)
         if store is not None and key in store:
+            metrics.inc("campaign.cells.skipped")
             cells.append(
                 CampaignCell(
                     dataset=dataset,
@@ -118,9 +127,15 @@ def run_campaign(
             formation=formation,
             checkpoint_path=None,
         )
-        runs = run_suite(
-            config, algorithms, list(k_values), candidate_limit=candidate_limit
-        )
+        with trace.span(
+            "campaign/cell",
+            dataset=dataset, threshold=threshold, formation=formation,
+        ):
+            runs = run_suite(
+                config, algorithms, list(k_values),
+                candidate_limit=candidate_limit,
+            )
+        metrics.inc("campaign.cells.completed")
         if store is not None:
             store.record(key, _cell_payload(runs))
         cells.append(
@@ -130,6 +145,19 @@ def run_campaign(
                 formation=formation,
                 runs=runs,
             )
+        )
+    if store is not None and obs_enabled():
+        # Same provenance discipline as run_suite: a manifest sibling
+        # next to the campaign checkpoint binds the grid to the code,
+        # seeds and config that produced it.
+        write_manifest(
+            build_manifest(
+                "run_campaign",
+                config=asdict(base_config),
+                seeds={"seed": base_config.seed},
+                artifacts={"checkpoint": store.path},
+            ),
+            manifest_path_for(store.path),
         )
     return cells
 

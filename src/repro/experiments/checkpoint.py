@@ -30,6 +30,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple, Union
 
 from repro.errors import ExperimentError
+from repro.obs import metrics, trace
 
 PathLike = Union[str, "os.PathLike[str]"]
 
@@ -139,23 +140,25 @@ class CheckpointStore:
         self._payloads[key] = payload
         if key not in self._computed:
             self._computed.append(key)
-        tmp_path = f"{self.path}.tmp"
-        with open(tmp_path, "w", encoding="utf-8") as fh:
-            for existing_key, existing_payload in self._payloads.items():
-                fh.write(
-                    json.dumps(
-                        {
-                            "version": _SCHEMA_VERSION,
-                            "key": existing_key,
-                            "payload": existing_payload,
-                        },
-                        sort_keys=True,
+        with trace.span("checkpoint/record", key=key):
+            tmp_path = f"{self.path}.tmp"
+            with open(tmp_path, "w", encoding="utf-8") as fh:
+                for existing_key, existing_payload in self._payloads.items():
+                    fh.write(
+                        json.dumps(
+                            {
+                                "version": _SCHEMA_VERSION,
+                                "key": existing_key,
+                                "payload": existing_payload,
+                            },
+                            sort_keys=True,
+                        )
                     )
-                )
-                fh.write("\n")
-            fh.flush()
-            os.fsync(fh.fileno())
-        os.replace(tmp_path, self.path)
+                    fh.write("\n")
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp_path, self.path)
+        metrics.inc("checkpoint.records.written")
 
     def report(self) -> ResumeReport:
         """Skipped/computed summary of this store's session."""

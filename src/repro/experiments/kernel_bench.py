@@ -42,6 +42,7 @@ from repro.errors import ReproError
 from repro.graph.digraph import DiGraph
 from repro.graph.generators import planted_partition_graph
 from repro.graph.weights import assign_weighted_cascade
+from repro.obs import environment_fingerprint, trace
 from repro.sampling.pool import RICSamplePool
 from repro.sampling.ric import RICSampler
 
@@ -140,9 +141,10 @@ def run_kernel_bench(samples: int = 10_000, k: int = 10) -> Dict[str, Any]:
     graph, communities = build_workload()
     frozen = graph.freeze()
 
-    times, outputs = _time_sampling_interleaved(
-        {"mutable": graph, "frozen": frozen}, communities, samples
-    )
+    with trace.span("bench/sampling", samples=samples):
+        times, outputs = _time_sampling_interleaved(
+            {"mutable": graph, "frozen": frozen}, communities, samples
+        )
     t_mut, t_frozen = times["mutable"], times["frozen"]
     out_mut, out_frozen = outputs["mutable"], outputs["frozen"]
     if out_mut[: min(50, samples)] != out_frozen[: min(50, samples)]:
@@ -168,10 +170,11 @@ def run_kernel_bench(samples: int = 10_000, k: int = 10) -> Dict[str, Any]:
     marginals: Dict[str, float] = {}
     select_time: Dict[str, float] = {}
     for name, factory in engines.items():
-        marginals[name] = _marginal_throughput(factory(pool), nodes)
-        start = time.perf_counter()
-        UBG(engine=name).solve(pool, k)
-        select_time[name] = time.perf_counter() - start
+        with trace.span("bench/engine", engine=name):
+            marginals[name] = _marginal_throughput(factory(pool), nodes)
+            start = time.perf_counter()
+            UBG(engine=name).solve(pool, k)
+            select_time[name] = time.perf_counter() - start
 
     combined_flat = t_frozen + select_time["flat"]
     combined_reference = t_mut + select_time["reference"]
@@ -199,6 +202,9 @@ def run_kernel_bench(samples: int = 10_000, k: int = 10) -> Dict[str, Any]:
         "pool_compaction": compact_stats,
         "peak_rss_kb": peak_rss_kb,
         "python": sys.version.split()[0],
+        # Full provenance block (git SHA, platform, interpreter) so a
+        # trajectory entry can be diffed against the commit it measured.
+        "environment": environment_fingerprint(),
     }
 
 

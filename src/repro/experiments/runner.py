@@ -9,7 +9,7 @@ sample generation is part of those algorithms).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.baselines import (
@@ -37,6 +37,14 @@ from repro.errors import ExperimentError
 from repro.experiments.checkpoint import CheckpointStore, as_checkpoint
 from repro.experiments.config import ExperimentConfig
 from repro.graph.digraph import DiGraph
+from repro.obs import (
+    build_manifest,
+    enabled as obs_enabled,
+    manifest_path_for,
+    metrics,
+    trace,
+    write_manifest,
+)
 from repro.rng import derive_seed
 from repro.sampling.parallel import ParallelRICSampler
 from repro.sampling.pool import RICSamplePool
@@ -176,41 +184,44 @@ def run_algorithm(
             seed=derive_seed(config.seed, "evaluator", name, k),
         )
     timer = Stopwatch()
-    if name in ("UBG", "MAF", "BT", "MB", "GreedyC"):
-        solver = _maxr_solver(name, config, candidate_limit)
-        with timer:
-            local_pool = pool if pool is not None else make_pool(
-                graph, communities, config
-            )
-            selection = solver.solve(local_pool, k)
-        seeds: Sequence[int] = selection.seeds
-    elif name == "HBC":
-        with timer:
-            seeds = hbc_seeds(graph, communities, k)
-    elif name == "KS":
-        with timer:
-            seeds = ks_seeds(communities, k)
-    elif name == "IM":
-        with timer:
-            seeds = im_seeds(
-                graph,
-                k,
-                epsilon=config.epsilon,
-                delta=config.delta,
-                seed=derive_seed(config.seed, "im", k),
-                max_samples=20_000,
-            )
-    elif name == "Degree":
-        with timer:
-            seeds = high_degree_seeds(graph, k)
-    elif name == "Random":
-        with timer:
-            seeds = random_seeds(
-                graph, k, seed=derive_seed(config.seed, "rand", k)
-            )
-    else:
-        raise ExperimentError(f"unknown algorithm {name!r}")
-    benefit = evaluator(seeds) if seeds else 0.0
+    with trace.span("experiment/run_algorithm", algorithm=name, k=k):
+        if name in ("UBG", "MAF", "BT", "MB", "GreedyC"):
+            solver = _maxr_solver(name, config, candidate_limit)
+            with timer:
+                local_pool = pool if pool is not None else make_pool(
+                    graph, communities, config
+                )
+                selection = solver.solve(local_pool, k)
+            seeds: Sequence[int] = selection.seeds
+        elif name == "HBC":
+            with timer:
+                seeds = hbc_seeds(graph, communities, k)
+        elif name == "KS":
+            with timer:
+                seeds = ks_seeds(communities, k)
+        elif name == "IM":
+            with timer:
+                seeds = im_seeds(
+                    graph,
+                    k,
+                    epsilon=config.epsilon,
+                    delta=config.delta,
+                    seed=derive_seed(config.seed, "im", k),
+                    max_samples=20_000,
+                )
+        elif name == "Degree":
+            with timer:
+                seeds = high_degree_seeds(graph, k)
+        elif name == "Random":
+            with timer:
+                seeds = random_seeds(
+                    graph, k, seed=derive_seed(config.seed, "rand", k)
+                )
+        else:
+            raise ExperimentError(f"unknown algorithm {name!r}")
+        with trace.span("experiment/evaluate", algorithm=name, k=k):
+            benefit = evaluator(seeds) if seeds else 0.0
+        metrics.inc("experiment.runs.completed")
     return AlgorithmRun(
         algorithm=name,
         k=k,
@@ -309,6 +320,7 @@ def run_suite(
         for name in algorithms:
             key = _run_key(name, k)
             if store is not None and key in store:
+                metrics.inc("experiment.runs.skipped")
                 run = _run_from_payload(store.get(key), store.path)
                 if evaluator is not None and run.seeds:
                     # The evaluator hands each evaluation the next child
@@ -331,4 +343,17 @@ def run_suite(
             if store is not None:
                 store.record(key, _run_to_payload(run))
             results[name].append(run)
+    if store is not None and obs_enabled():
+        # Bind the suite's provenance to its checkpoint: a manifest
+        # sibling records code version, seeds and config hash, so a
+        # resumed suite can be audited against the run that started it.
+        write_manifest(
+            build_manifest(
+                "run_suite",
+                config=asdict(config),
+                seeds={"seed": config.seed},
+                artifacts={"checkpoint": store.path},
+            ),
+            manifest_path_for(store.path),
+        )
     return results

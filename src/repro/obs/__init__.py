@@ -1,0 +1,78 @@
+"""Zero-dependency instrumentation: tracing, metrics, run manifests.
+
+The package is dormant by default — every span, counter and gauge call
+in the library is a near-free no-op until a session is opened. Open one
+(via :func:`session`, :func:`enable`, or the CLI's ``--trace-out`` /
+``--metrics-out`` flags) and the same call sites produce a structured
+record of the run:
+
+- **Spans** (:data:`trace`): nested, timed phases — sampling, solver
+  arms, evaluation — streamed to JSONL as they finish.
+- **Metrics** (:data:`metrics`): counters, gauges and fixed-bucket
+  histograms for discrete events (samples generated, coverage resyncs,
+  heap compactions, redispatched batches, deadline truncations).
+- **Manifests** (:func:`build_manifest`): one JSON document per run
+  binding git SHA, platform, RNG seeds, a config hash, phase timings
+  and the metrics snapshot — written atomically alongside checkpoint /
+  campaign artifacts.
+
+See ``docs/observability.md`` for the span and metric name registry and
+end-to-end examples.
+"""
+
+from repro.obs.environment import (
+    environment_fingerprint,
+    git_info,
+    require_clean_tree,
+    working_tree_dirty,
+)
+from repro.obs.manifest import (
+    MANIFEST_SCHEMA,
+    build_manifest,
+    config_hash,
+    load_manifest,
+    manifest_path_for,
+    write_manifest,
+)
+from repro.obs.metrics import DEFAULT_TIME_BUCKETS, MetricsRegistry, metrics
+from repro.obs.report import render_report
+from repro.obs.session import Recorder, disable, enable, enabled, session
+from repro.obs.sinks import JsonlSink, read_jsonl, write_jsonl
+from repro.obs.tracer import NOOP_SPAN, Span, Tracer, phase_timings, trace
+
+__all__ = [
+    # tracer
+    "trace",
+    "Tracer",
+    "Span",
+    "NOOP_SPAN",
+    "phase_timings",
+    # metrics
+    "metrics",
+    "MetricsRegistry",
+    "DEFAULT_TIME_BUCKETS",
+    # sinks
+    "JsonlSink",
+    "write_jsonl",
+    "read_jsonl",
+    # session lifecycle
+    "session",
+    "enable",
+    "disable",
+    "enabled",
+    "Recorder",
+    # manifests
+    "MANIFEST_SCHEMA",
+    "build_manifest",
+    "write_manifest",
+    "load_manifest",
+    "manifest_path_for",
+    "config_hash",
+    # environment
+    "environment_fingerprint",
+    "git_info",
+    "working_tree_dirty",
+    "require_clean_tree",
+    # reporting
+    "render_report",
+]

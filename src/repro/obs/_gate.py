@@ -1,0 +1,19 @@
+"""The module-level enabled flag guarding all instrumentation.
+
+Every hot-path touchpoint (``trace.span``, ``metrics.inc``, ...) checks
+``_gate.active`` first and returns immediately when it is ``False`` —
+the default. Keeping the flag in its own tiny module avoids import
+cycles between the tracer, the metrics registry and the session layer,
+and makes the no-op cost of disabled instrumentation two attribute
+lookups plus a branch (verified by the perf smoke test in
+``tests/test_perf_smoke.py``).
+
+The flag is flipped only by :mod:`repro.obs.session` (and, transiently,
+by :meth:`repro.obs.tracer.Tracer.capture` inside parallel-sampling
+workers). User code should never write it directly.
+"""
+
+from __future__ import annotations
+
+#: Whether instrumentation is currently collecting. Off by default.
+active: bool = False

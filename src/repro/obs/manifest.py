@@ -1,0 +1,130 @@
+"""Per-run manifests: what ran, on what code, with which seeds.
+
+A manifest is one JSON document that makes a run *attributable* after
+the fact: git SHA and platform (where), RNG seeds and a configuration
+hash (what), phase timings aggregated from the trace and the final
+metrics snapshot (how it went). It is written with the same atomic
+temp-file + ``fsync`` + ``os.replace`` discipline as
+:class:`~repro.experiments.checkpoint.CheckpointStore`, so it can sit
+safely alongside checkpoint/campaign artifacts.
+
+Schema (``repro-run-manifest/1``)::
+
+    {
+      "schema": "repro-run-manifest/1",
+      "run_id":        unique hex id for this run,
+      "created_at":    UTC ISO-8601 stamp,
+      "command":       logical entry point ("solve", "compare", ...),
+      "config":        JSON-safe dict of the run's parameters,
+      "config_hash":   sha256 of the canonicalised config,
+      "seeds":         the RNG seeds the run was launched with,
+      "environment":   environment_fingerprint() block,
+      "phase_timings": {span name: {count, total_seconds, ...}},
+      "metrics":       metrics registry snapshot,
+      "artifacts":     {label: path} of files the run produced,
+    }
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+import uuid
+from typing import Any, Dict, Iterable, Optional
+
+from repro.errors import ObservabilityError
+from repro.obs.environment import environment_fingerprint
+from repro.obs.metrics import metrics
+from repro.obs.tracer import phase_timings, trace
+
+#: Manifest schema identifier (bump when the document shape changes).
+MANIFEST_SCHEMA = "repro-run-manifest/1"
+
+
+def config_hash(config: Dict[str, Any]) -> str:
+    """Order-independent sha256 of a JSON-safe config dict.
+
+    Two runs with the same parameters hash identically regardless of
+    dict insertion order; non-JSON values are stringified.
+    """
+    canonical = json.dumps(config, sort_keys=True, default=str)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def build_manifest(
+    command: str,
+    config: Optional[Dict[str, Any]] = None,
+    seeds: Optional[Dict[str, Any]] = None,
+    spans: Optional[Iterable[Dict[str, Any]]] = None,
+    metrics_snapshot: Optional[Dict[str, Any]] = None,
+    artifacts: Optional[Dict[str, str]] = None,
+) -> Dict[str, Any]:
+    """Assemble a manifest document for the current (or a finished) run.
+
+    ``spans`` and ``metrics_snapshot`` default to the live tracer /
+    registry state, so calling this at the end of an instrumented run
+    captures everything; an already-closed
+    :class:`~repro.obs.session.Recorder` passes its retained copies.
+    """
+    config = dict(config or {})
+    span_records = list(spans) if spans is not None else trace.snapshot()
+    return {
+        "schema": MANIFEST_SCHEMA,
+        "run_id": uuid.uuid4().hex[:16],
+        "created_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "command": command,
+        "config": config,
+        "config_hash": config_hash(config),
+        "seeds": dict(seeds or {}),
+        "environment": environment_fingerprint(),
+        "phase_timings": phase_timings(span_records),
+        "metrics": (
+            metrics_snapshot
+            if metrics_snapshot is not None
+            else metrics.snapshot()
+        ),
+        "artifacts": dict(artifacts or {}),
+    }
+
+
+def write_manifest(manifest: Dict[str, Any], path: str) -> str:
+    """Write ``manifest`` to ``path`` atomically; returns ``path``.
+
+    Same crash discipline as the checkpoint store: sibling temp file,
+    ``fsync``, ``os.replace`` — a reader (or a post-crash resume) never
+    observes a partial manifest.
+    """
+    path = os.fspath(path)
+    tmp = f"{path}.tmp"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(manifest, handle, indent=2, sort_keys=True, default=str)
+        handle.write("\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+    return path
+
+
+def load_manifest(path: str) -> Dict[str, Any]:
+    """Read a manifest back, validating its schema stamp."""
+    with open(path, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    if not isinstance(document, dict) or document.get("schema") != MANIFEST_SCHEMA:
+        raise ObservabilityError(
+            f"{path!r} is not a {MANIFEST_SCHEMA!r} manifest "
+            f"(schema: {document.get('schema') if isinstance(document, dict) else None!r})"
+        )
+    return document
+
+
+def manifest_path_for(artifact_path: str) -> str:
+    """Conventional manifest path next to an artifact.
+
+    ``run.jsonl`` → ``run.manifest.json``; extension-less paths get
+    ``.manifest.json`` appended. Used by the CLI (``--trace-out``) and
+    the checkpointed experiment drivers.
+    """
+    base, _ = os.path.splitext(os.fspath(artifact_path))
+    return f"{base}.manifest.json"

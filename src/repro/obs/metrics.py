@@ -1,0 +1,126 @@
+"""Metrics registry: counters, gauges, and fixed-bucket histograms.
+
+Names are dotted paths grouped by subsystem (see
+``docs/observability.md`` for the registry of names this package
+emits), e.g. ``ric.samples.generated``, ``coverage.resyncs``,
+``heap.compactions``, ``parallel.batches.redispatched``,
+``deadline.truncated``.
+
+All mutators are no-ops while instrumentation is disabled (the
+default), so call sites can stay in place permanently. Histograms use
+*fixed* bucket edges chosen at first observation — cumulative-style
+counts per upper edge plus an overflow bucket — so two runs of the same
+workload produce directly comparable distributions.
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+from typing import Any, Dict, Optional, Sequence, Tuple
+
+from repro.obs import _gate
+
+#: Default histogram bucket upper edges, in seconds — spans the range
+#: from sub-millisecond kernel calls to minutes-long campaign cells.
+DEFAULT_TIME_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 60.0, 300.0,
+)
+
+
+class MetricsRegistry:
+    """Thread-safe registry; the module exposes one instance as
+    :data:`repro.obs.metrics`.
+
+    Counters only go up (per run), gauges hold the last value set, and
+    histograms count observations into fixed buckets. :meth:`snapshot`
+    returns a JSON-ready dict; :meth:`reset` clears everything for the
+    next run.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, float] = {}
+        self._gauges: Dict[str, float] = {}
+        # name -> (edges, per-bucket counts [+1 overflow], total, sum)
+        self._histograms: Dict[str, Dict[str, Any]] = {}
+
+    # -- mutators (no-ops while disabled) ------------------------------
+
+    def inc(self, name: str, value: float = 1) -> None:
+        """Add ``value`` (default 1) to counter ``name``."""
+        if not _gate.active:
+            return
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + value
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Set gauge ``name`` to ``value`` (last write wins)."""
+        if not _gate.active:
+            return
+        with self._lock:
+            self._gauges[name] = value
+
+    def observe(self, name: str, value: float,
+                buckets: Optional[Sequence[float]] = None) -> None:
+        """Count ``value`` into histogram ``name``.
+
+        ``buckets`` (ascending upper edges) is honoured only on the
+        histogram's *first* observation; later calls reuse the fixed
+        edges so the distribution stays comparable within the run.
+        """
+        if not _gate.active:
+            return
+        with self._lock:
+            hist = self._histograms.get(name)
+            if hist is None:
+                edges = tuple(buckets) if buckets else DEFAULT_TIME_BUCKETS
+                if list(edges) != sorted(edges):
+                    raise ValueError(
+                        f"histogram {name!r} bucket edges must ascend: "
+                        f"{edges}"
+                    )
+                hist = self._histograms[name] = {
+                    "buckets": edges,
+                    "counts": [0] * (len(edges) + 1),
+                    "count": 0,
+                    "sum": 0.0,
+                }
+            hist["counts"][bisect.bisect_left(hist["buckets"], value)] += 1
+            hist["count"] += 1
+            hist["sum"] += value
+
+    # -- inspection ----------------------------------------------------
+
+    def get_counter(self, name: str) -> float:
+        """Current value of counter ``name`` (0 when never touched)."""
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-ready copy: ``{"counters", "gauges", "histograms"}``."""
+        with self._lock:
+            return {
+                "counters": dict(self._counters),
+                "gauges": dict(self._gauges),
+                "histograms": {
+                    name: {
+                        "buckets": list(hist["buckets"]),
+                        "counts": list(hist["counts"]),
+                        "count": hist["count"],
+                        "sum": hist["sum"],
+                    }
+                    for name, hist in self._histograms.items()
+                },
+            }
+
+    def reset(self) -> None:
+        """Clear all counters, gauges and histograms."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+
+
+#: The process-wide registry instance every instrumented module imports.
+metrics = MetricsRegistry()

@@ -1,0 +1,148 @@
+"""Human-readable rendering of manifests and trace files.
+
+Backs ``python -m repro report <file>``: point it at a run manifest
+(``*.manifest.json``) or a raw span trace (``*.jsonl``) and it prints a
+plain-text summary — environment, per-phase timing table, counters,
+gauges and histograms. Pure string formatting, no dependencies beyond
+the standard library.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from repro.errors import ObservabilityError
+from repro.obs.manifest import MANIFEST_SCHEMA, load_manifest
+from repro.obs.sinks import read_jsonl
+from repro.obs.tracer import phase_timings
+
+
+def _fmt_seconds(value: float) -> str:
+    """Compact duration formatting for the timing table."""
+    if value < 1e-3:
+        return f"{value * 1e6:.0f}us"
+    if value < 1.0:
+        return f"{value * 1e3:.2f}ms"
+    return f"{value:.3f}s"
+
+
+def _timing_lines(phases: Dict[str, Dict[str, Any]]) -> List[str]:
+    """Render a phase-timings dict as aligned table rows."""
+    if not phases:
+        return ["  (no spans recorded)"]
+    width = max(len(name) for name in phases)
+    lines = [
+        f"  {'phase'.ljust(width)}  {'count':>6}  {'total':>10}  "
+        f"{'mean':>10}  {'max':>10}  errors"
+    ]
+    ordered = sorted(
+        phases.items(), key=lambda item: -item[1]["total_seconds"]
+    )
+    for name, entry in ordered:
+        mean = entry["total_seconds"] / max(entry["count"], 1)
+        lines.append(
+            f"  {name.ljust(width)}  {entry['count']:>6}  "
+            f"{_fmt_seconds(entry['total_seconds']):>10}  "
+            f"{_fmt_seconds(mean):>10}  "
+            f"{_fmt_seconds(entry['max_seconds']):>10}  "
+            f"{entry['errors']}"
+        )
+    return lines
+
+
+def _metrics_lines(snapshot: Dict[str, Any]) -> List[str]:
+    """Render a metrics snapshot (counters/gauges/histograms)."""
+    lines: List[str] = []
+    counters = snapshot.get("counters") or {}
+    gauges = snapshot.get("gauges") or {}
+    histograms = snapshot.get("histograms") or {}
+    if counters:
+        lines.append("counters:")
+        for name in sorted(counters):
+            lines.append(f"  {name} = {counters[name]}")
+    if gauges:
+        lines.append("gauges:")
+        for name in sorted(gauges):
+            lines.append(f"  {name} = {gauges[name]}")
+    if histograms:
+        lines.append("histograms:")
+        for name in sorted(histograms):
+            hist = histograms[name]
+            count = hist.get("count", 0)
+            total = hist.get("sum", 0.0)
+            mean = total / count if count else 0.0
+            lines.append(
+                f"  {name}: count={count} sum={total:.6g} mean={mean:.6g}"
+            )
+    if not lines:
+        lines.append("(no metrics recorded)")
+    return lines
+
+
+def render_manifest(manifest: Dict[str, Any]) -> str:
+    """Render a loaded manifest document as a plain-text report."""
+    env = manifest.get("environment") or {}
+    lines = [
+        f"run {manifest.get('run_id', '?')} — "
+        f"command: {manifest.get('command', '?')}",
+        f"created: {manifest.get('created_at', '?')}",
+        f"config hash: {manifest.get('config_hash', '?')}",
+        "environment:",
+        f"  git: {env.get('git_sha') or 'unknown'}"
+        + (" (dirty)" if env.get("git_dirty") else ""),
+        f"  python: {env.get('python', '?')} "
+        f"({env.get('implementation', '?')}) on "
+        f"{env.get('platform', '?')}",
+    ]
+    seeds = manifest.get("seeds") or {}
+    if seeds:
+        pairs = ", ".join(f"{k}={v}" for k, v in sorted(seeds.items()))
+        lines.append(f"seeds: {pairs}")
+    artifacts = manifest.get("artifacts") or {}
+    if artifacts:
+        lines.append("artifacts:")
+        for label in sorted(artifacts):
+            lines.append(f"  {label}: {artifacts[label]}")
+    lines.append("phase timings:")
+    lines.extend(_timing_lines(manifest.get("phase_timings") or {}))
+    lines.extend(_metrics_lines(manifest.get("metrics") or {}))
+    return "\n".join(lines)
+
+
+def render_trace(records: List[Dict[str, Any]]) -> str:
+    """Render raw span records (a trace JSONL) as a timing report."""
+    spans = [r for r in records if r.get("type") == "span"]
+    lines = [f"trace: {len(spans)} spans", "phase timings:"]
+    lines.extend(_timing_lines(phase_timings(spans)))
+    return "\n".join(lines)
+
+
+def render_report(path: str) -> str:
+    """Render whatever observability artifact lives at ``path``.
+
+    Detects the format: a JSON document stamped ``repro-run-manifest/1``
+    is rendered as a manifest; anything else parseable as JSONL is
+    rendered as a span trace. Raises
+    :class:`~repro.errors.ObservabilityError` when the file is neither.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            head = handle.read(4096)
+    except OSError as exc:
+        raise ObservabilityError(f"cannot read {path!r}: {exc}") from exc
+    if MANIFEST_SCHEMA in head:
+        try:
+            return render_manifest(load_manifest(path))
+        except json.JSONDecodeError as exc:
+            raise ObservabilityError(
+                f"{path!r} looks like a manifest but is not valid JSON: "
+                f"{exc}"
+            ) from exc
+    try:
+        records = read_jsonl(path)
+    except json.JSONDecodeError as exc:
+        raise ObservabilityError(
+            f"{path!r} is neither a run manifest nor a JSONL trace"
+        ) from exc
+    return render_trace(records)

@@ -57,7 +57,10 @@ from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 from repro.communities.structure import CommunityStructure
 from repro.errors import SamplingError, WorkerCrashError
 from repro.graph.digraph import DiGraph
+from repro.obs import metrics, trace
+from repro.obs.session import enabled as _obs_enabled
 from repro.rng import SeedLike
+from repro.sampling.profile import make_profile
 from repro.sampling.ric import RICSample, RICSampler
 from repro.utils.faults import FaultInjector
 from repro.utils.retry import RetryPolicy
@@ -112,6 +115,7 @@ def expand_sample(compact: CompactSample) -> RICSample:
 
 _WORKER_SAMPLER: Optional[RICSampler] = None
 _WORKER_INJECTOR: Optional[FaultInjector] = None
+_WORKER_CAPTURE: bool = False
 
 
 def _init_worker(
@@ -119,18 +123,46 @@ def _init_worker(
     communities: CommunityStructure,
     model: str,
     injector: Optional[FaultInjector] = None,
+    capture_spans: bool = False,
 ) -> None:
-    """Process-pool initializer: build this worker's template sampler."""
-    global _WORKER_SAMPLER, _WORKER_INJECTOR
+    """Process-pool initializer: build this worker's template sampler.
+
+    ``capture_spans`` is the master's instrumentation state at pool
+    creation: when true, each batch records a ``ric/worker_batch`` span
+    locally and ships it back with the batch result for the master to
+    :meth:`~repro.obs.tracer.Tracer.ingest`.
+    """
+    global _WORKER_SAMPLER, _WORKER_INJECTOR, _WORKER_CAPTURE
     _WORKER_SAMPLER = RICSampler(graph, communities, seed=0, model=model)
     _WORKER_INJECTOR = injector
+    _WORKER_CAPTURE = capture_spans
 
 
-def _generate_batch(task: BatchTask) -> Tuple[int, float, List[CompactSample]]:
+def _materialise_batch(
+    sampler: RICSampler,
+    injector: Optional[FaultInjector],
+    seeds: Sequence[int],
+    start: int,
+    attempt: int,
+) -> List[CompactSample]:
+    """Materialise one batch's samples from their child seeds."""
+    out: List[CompactSample] = []
+    for index, seed in enumerate(seeds):
+        if injector is not None:
+            injector.fire("sample", start=start, attempt=attempt, index=index)
+        out.append(compact_sample(sampler.sample_from_seed(seed)))
+    return out
+
+
+def _generate_batch(
+    task: BatchTask,
+) -> Tuple[int, float, List[CompactSample], List[Dict[str, Any]]]:
     """Generate one batch of samples from child seeds.
 
-    Returns ``(start_index, worker_seconds, compact_samples)`` so the
-    master can reassemble results in order and compute utilisation.
+    Returns ``(start_index, worker_seconds, compact_samples, spans)`` so
+    the master can reassemble results in order, compute utilisation, and
+    merge any worker-side spans into its trace (``spans`` is empty when
+    the pool was created without instrumentation).
     """
     start, seeds, attempt = task
     sampler = _WORKER_SAMPLER
@@ -139,13 +171,19 @@ def _generate_batch(task: BatchTask) -> Tuple[int, float, List[CompactSample]]:
         raise SamplingError("parallel sampling worker was not initialised")
     if injector is not None:
         injector.fire("generate_batch", start=start, attempt=attempt)
+    spans: List[Dict[str, Any]] = []
     began = time.perf_counter()
-    out: List[CompactSample] = []
-    for index, seed in enumerate(seeds):
-        if injector is not None:
-            injector.fire("sample", start=start, attempt=attempt, index=index)
-        out.append(compact_sample(sampler.sample_from_seed(seed)))
-    return start, time.perf_counter() - began, out
+    if _WORKER_CAPTURE:
+        with trace.capture() as buffer:
+            with trace.span(
+                "ric/worker_batch",
+                start=start, samples=len(seeds), attempt=attempt,
+            ):
+                out = _materialise_batch(sampler, injector, seeds, start, attempt)
+            spans = list(buffer)
+    else:
+        out = _materialise_batch(sampler, injector, seeds, start, attempt)
+    return start, time.perf_counter() - began, out, spans
 
 
 class ParallelRICSampler:
@@ -254,33 +292,38 @@ class ParallelRICSampler:
             raise SamplingError(f"count must be non-negative, got {count}")
         if count == 0:
             return []
-        began = time.perf_counter()
-        seeds = [self._serial.next_sample_seed() for _ in range(count)]
-        if self.workers <= 1 or count < self.MIN_DISPATCH:
-            samples = [self._serial.sample_from_seed(s) for s in seeds]
+        with trace.span(
+            "ric/sample_many", samples=count, workers=self.workers
+        ) as span:
+            began = time.perf_counter()
+            seeds = [self._serial.next_sample_seed() for _ in range(count)]
+            if self.workers <= 1 or count < self.MIN_DISPATCH:
+                span.set(mode="inline")
+                samples = [self._serial.sample_from_seed(s) for s in seeds]
+                self._record_profile(
+                    count, time.perf_counter() - began, mode="inline",
+                    batches=1, batch_size=count, busy=None,
+                )
+                return samples
+            batch = self.batch_size or max(1, -(-count // (self.workers * 4)))
+            pending: Dict[int, Sequence[int]] = {
+                start: seeds[start:start + batch]
+                for start in range(0, count, batch)
+            }
+            num_batches = len(pending)
+            span.set(mode="parallel", batches=num_batches, batch_size=batch)
+            completed, health = self._dispatch(pending)
+            samples: List[RICSample] = []
+            busy = 0.0
+            for start in sorted(completed):
+                worker_seconds, compacts = completed[start]
+                busy += worker_seconds
+                samples.extend(expand_sample(c) for c in compacts)
             self._record_profile(
-                count, time.perf_counter() - began, mode="inline",
-                batches=1, batch_size=count, busy=None,
+                count, time.perf_counter() - began, mode="parallel",
+                batches=num_batches, batch_size=batch, busy=busy, **health,
             )
             return samples
-        batch = self.batch_size or max(1, -(-count // (self.workers * 4)))
-        pending: Dict[int, Sequence[int]] = {
-            start: seeds[start:start + batch]
-            for start in range(0, count, batch)
-        }
-        num_batches = len(pending)
-        completed, health = self._dispatch(pending)
-        samples: List[RICSample] = []
-        busy = 0.0
-        for start in sorted(completed):
-            worker_seconds, compacts = completed[start]
-            busy += worker_seconds
-            samples.extend(expand_sample(c) for c in compacts)
-        self._record_profile(
-            count, time.perf_counter() - began, mode="parallel",
-            batches=num_batches, batch_size=batch, busy=busy, **health,
-        )
-        return samples
 
     # -- self-healing dispatch -----------------------------------------
 
@@ -330,9 +373,10 @@ class ParallelRICSampler:
                     # batches that did finish, fail the rest fast.
                     if future.done() and not future.cancelled():
                         try:
-                            s, secs, out = future.result(timeout=0)
+                            s, secs, out, spans = future.result(timeout=0)
                             completed[s] = (secs, out)
                             pending.pop(s, None)
+                            trace.ingest(spans)
                         except BaseException as exc:  # noqa: BLE001
                             last_error = exc
                             failed_batches.add(start)
@@ -341,9 +385,12 @@ class ParallelRICSampler:
                         failed_batches.add(start)
                     continue
                 try:
-                    s, secs, out = future.result(timeout=self.batch_timeout)
+                    s, secs, out, spans = future.result(
+                        timeout=self.batch_timeout
+                    )
                     completed[s] = (secs, out)
                     pending.pop(s, None)
+                    trace.ingest(spans)
                 except (BrokenProcessPool, OSError, FuturesTimeoutError) as exc:
                     # Crashed pool, dead pipe, or a batch overrunning its
                     # timeout (still hogging a worker): the executor can
@@ -399,32 +446,37 @@ class ParallelRICSampler:
         utilization = None
         if busy is not None and elapsed > 0:
             utilization = min(1.0, busy / (self.workers * elapsed))
-        self._profile = {
-            "mode": mode,
-            "samples": count,
-            "elapsed_seconds": elapsed,
-            "samples_per_sec": count / elapsed if elapsed > 0 else float("inf"),
-            "workers": self.workers,
-            "batches": batches,
-            "batch_size": batch_size,
-            "worker_utilization": utilization,
-            "retries": retries,
-            "worker_restarts": worker_restarts,
-            "failed_batches": failed_batches or [],
-            "attempts": attempts,
-        }
+        self._profile = make_profile(
+            mode,
+            count,
+            elapsed,
+            workers=self.workers,
+            batches=batches,
+            batch_size=batch_size,
+            worker_utilization=utilization,
+            retries=retries,
+            worker_restarts=worker_restarts,
+            failed_batches=failed_batches,
+            attempts=attempts,
+        )
+        metrics.inc("ric.samples.generated", count)
+        if retries:
+            metrics.inc("parallel.batches.redispatched", retries)
+        if worker_restarts:
+            metrics.inc("parallel.worker.restarts", worker_restarts)
 
     def last_profile(self) -> Optional[Dict[str, Any]]:
         """Profile of the most recent ``sample_many`` call.
 
-        Keys: ``mode`` (``"parallel"`` or ``"inline"``), ``samples``,
-        ``elapsed_seconds``, ``samples_per_sec``, ``workers``,
-        ``batches``, ``batch_size``, ``worker_utilization`` (fraction
-        of worker wall-clock spent generating; ``None`` inline), plus
-        the self-healing counters ``retries`` (batch re-dispatches),
-        ``worker_restarts`` (executor rebuilds), ``failed_batches``
-        (start indices that failed at least once) and ``attempts``
-        (dispatch rounds). ``None`` before the first call.
+        The dict has the unified sampling-profile schema
+        (:data:`repro.sampling.profile.PROFILE_KEYS`) — the same key set
+        the serial sampler emits. Here ``mode`` is ``"parallel"`` or
+        ``"inline"``, ``worker_utilization`` is the fraction of worker
+        wall-clock spent generating (``None`` inline), and the
+        self-healing counters are live: ``retries`` (batch
+        re-dispatches), ``worker_restarts`` (executor rebuilds),
+        ``failed_batches`` (start indices that failed at least once) and
+        ``attempts`` (dispatch rounds). ``None`` before the first call.
         """
         return self._profile
 
@@ -440,6 +492,7 @@ class ParallelRICSampler:
                     self.communities,
                     self.model,
                     self.fault_injector,
+                    _obs_enabled(),
                 ),
             )
         return self._executor

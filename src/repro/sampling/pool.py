@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
 
 from repro.errors import SamplingError
+from repro.obs import metrics
 from repro.sampling.ric import RICSample, RICSampler
 from repro.sampling.rr import RRSampler
 
@@ -153,6 +154,8 @@ class RICSamplePool:
             entries += len(pairs)
             if type(pairs) is list:
                 self._coverage[node] = tuple(pairs)
+        metrics.inc("pool.compactions")
+        metrics.set_gauge("pool.coverage_entries", entries)
         return {
             "reach_sets": total,
             "unique_reach_sets": len(canonical),

@@ -14,11 +14,15 @@ class Stopwatch:
         with Stopwatch() as sw:
             run_solver()
         print(sw.elapsed)
+
+    While the stopwatch is running, :attr:`elapsed` reads live (seconds
+    since :meth:`start` so far) and :meth:`lap` returns the same reading
+    explicitly; after :meth:`stop` both settle on the final duration.
     """
 
     def __init__(self) -> None:
         self._start: Optional[float] = None
-        self.elapsed: float = 0.0
+        self._elapsed: float = 0.0
 
     def __enter__(self) -> "Stopwatch":
         self.start()
@@ -31,13 +35,26 @@ class Stopwatch:
         """Begin (or restart) timing."""
         self._start = time.perf_counter()
 
+    def lap(self) -> float:
+        """Return seconds since :meth:`start` without stopping the watch."""
+        if self._start is None:
+            raise RuntimeError("Stopwatch.lap() called before start()")
+        return time.perf_counter() - self._start
+
     def stop(self) -> float:
         """Stop timing and return the elapsed seconds since :meth:`start`."""
         if self._start is None:
             raise RuntimeError("Stopwatch.stop() called before start()")
-        self.elapsed = time.perf_counter() - self._start
+        self._elapsed = time.perf_counter() - self._start
         self._start = None
-        return self.elapsed
+        return self._elapsed
+
+    @property
+    def elapsed(self) -> float:
+        """Elapsed seconds — live while running, final after :meth:`stop`."""
+        if self._start is not None:
+            return time.perf_counter() - self._start
+        return self._elapsed
 
     @property
     def running(self) -> bool:

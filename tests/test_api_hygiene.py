@@ -24,6 +24,7 @@ PACKAGES = [
     "repro.baselines",
     "repro.datasets",
     "repro.experiments",
+    "repro.obs",
     "repro.utils",
 ]
 

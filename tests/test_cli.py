@@ -241,8 +241,17 @@ def test_solve_command_flat_engine_and_freeze_match_default(capsys):
         main(base_args + ["--coverage-engine", "flat", "--freeze"]) == 0
     )
     fast_out = capsys.readouterr().out
+
     # Same seeds and objective: the kernels change speed, not results.
-    assert default_out == fast_out
+    # The "sampling:" line reports wall-clock throughput, which differs
+    # between any two runs; everything else must match byte-for-byte.
+    def _without_timing(text):
+        return [
+            line for line in text.splitlines()
+            if not line.startswith("sampling:")
+        ]
+
+    assert _without_timing(default_out) == _without_timing(fast_out)
 
 
 def test_bench_command_records_trajectory(capsys, tmp_path):
@@ -256,6 +265,9 @@ def test_bench_command_records_trajectory(capsys, tmp_path):
         "--record",
         "--output",
         str(artifact),
+        # The test tree is routinely dirty (development checkout); the
+        # dirty-tree refusal has its own test in test_obs_integration.
+        "--allow-dirty",
     ]
     assert main(args) == 0
     out = capsys.readouterr().out

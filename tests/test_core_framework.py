@@ -249,8 +249,15 @@ def test_solve_imc_progress_callback(small_imc_instance):
             "psi",
             "sampling_profile",
         }
-        # Serial engine: no batching profile to report.
-        assert event["sampling_profile"] is None
+        # Serial engine: unified profile schema with trivial fan-out.
+        profile = event["sampling_profile"]
+        from repro.sampling.profile import PROFILE_KEYS
+
+        assert tuple(profile) == PROFILE_KEYS
+        assert profile["mode"] == "serial"
+        assert profile["workers"] == 1
+        assert profile["worker_utilization"] is None
+        assert profile["retries"] == 0
     stages = [e["stage"] for e in events]
     assert stages == list(range(1, len(events) + 1))
     sizes = [e["num_samples"] for e in events]

@@ -28,6 +28,7 @@ def test_required_documents_exist_and_substantial():
         ("docs/paper_mapping.md", 60),
         ("docs/algorithms.md", 60),
         ("docs/api.md", 60),
+        ("docs/observability.md", 60),
     ):
         path = ROOT / name
         assert path.exists(), name

@@ -1,0 +1,97 @@
+"""Manifest tests: hashing, round-trips, atomicity, path conventions."""
+
+import json
+import os
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs import (
+    MANIFEST_SCHEMA,
+    build_manifest,
+    config_hash,
+    load_manifest,
+    manifest_path_for,
+    metrics,
+    render_report,
+    session,
+    trace,
+    write_manifest,
+)
+
+pytestmark = pytest.mark.obs
+
+
+def test_config_hash_is_order_independent():
+    a = config_hash({"k": 10, "epsilon": 0.2})
+    b = config_hash({"epsilon": 0.2, "k": 10})
+    assert a == b and len(a) == 64
+    assert config_hash({"k": 11, "epsilon": 0.2}) != a
+
+
+def test_config_hash_tolerates_non_json_values():
+    assert config_hash({"path": os}) == config_hash({"path": os})
+
+
+def test_build_manifest_from_recorder_round_trips(tmp_path):
+    with session() as recorder:
+        with trace.span("imc/select", stage=1):
+            pass
+        metrics.inc("ric.samples.generated", 7)
+    manifest = build_manifest(
+        "solve",
+        config={"k": 5, "seed": 9},
+        seeds={"seed": 9},
+        spans=recorder.spans,
+        metrics_snapshot=recorder.metrics,
+        artifacts={"trace": "run.jsonl"},
+    )
+    assert manifest["schema"] == MANIFEST_SCHEMA
+    assert manifest["config_hash"] == config_hash({"k": 5, "seed": 9})
+    assert manifest["phase_timings"]["imc/select"]["count"] == 1
+    assert manifest["metrics"]["counters"]["ric.samples.generated"] == 7
+    assert "python" in manifest["environment"]
+
+    path = tmp_path / "run.manifest.json"
+    assert write_manifest(manifest, str(path)) == str(path)
+    loaded = load_manifest(str(path))
+    assert loaded == json.loads(json.dumps(manifest, default=str))
+    # Atomic discipline: no temp sibling left behind.
+    assert not (tmp_path / "run.manifest.json.tmp").exists()
+
+
+def test_build_manifest_defaults_to_live_state():
+    with session():
+        with trace.span("live/phase"):
+            pass
+        manifest = build_manifest("solve")
+    assert manifest["phase_timings"]["live/phase"]["count"] == 1
+    assert manifest["config"] == {} and manifest["seeds"] == {}
+
+
+def test_load_manifest_rejects_other_documents(tmp_path):
+    path = tmp_path / "not_manifest.json"
+    path.write_text('{"schema": "something-else/1"}\n')
+    with pytest.raises(ObservabilityError, match="manifest"):
+        load_manifest(str(path))
+
+
+def test_manifest_path_for_conventions():
+    assert manifest_path_for("run.jsonl") == "run.manifest.json"
+    assert manifest_path_for("out/trace.jsonl") == "out/trace.manifest.json"
+    assert manifest_path_for("plain") == "plain.manifest.json"
+
+
+def test_render_report_on_manifest_and_rejects_garbage(tmp_path):
+    manifest = build_manifest("solve", config={"k": 3}, seeds={"seed": 1})
+    path = tmp_path / "m.manifest.json"
+    write_manifest(manifest, str(path))
+    text = render_report(str(path))
+    assert manifest["run_id"] in text
+    assert "command: solve" in text
+    assert "phase timings" in text
+
+    garbage = tmp_path / "garbage.txt"
+    garbage.write_text("not json\nat all\n")
+    with pytest.raises(ObservabilityError):
+        render_report(str(garbage))

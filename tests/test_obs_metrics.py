@@ -1,0 +1,72 @@
+"""Metrics registry tests: gating, counters, gauges, histograms."""
+
+import pytest
+
+from repro.obs import DEFAULT_TIME_BUCKETS, metrics, session
+
+pytestmark = pytest.mark.obs
+
+
+def test_mutators_are_noops_while_disabled():
+    metrics.inc("ghost.counter", 5)
+    metrics.set_gauge("ghost.gauge", 1.0)
+    metrics.observe("ghost.hist", 0.01)
+    snap = metrics.snapshot()
+    assert snap == {"counters": {}, "gauges": {}, "histograms": {}}
+    assert metrics.get_counter("ghost.counter") == 0
+
+
+def test_counters_accumulate_inside_session():
+    with session() as recorder:
+        metrics.inc("ric.samples.generated", 100)
+        metrics.inc("ric.samples.generated", 50)
+        metrics.inc("coverage.resyncs")
+        assert metrics.get_counter("ric.samples.generated") == 150
+    assert recorder.metrics["counters"] == {
+        "ric.samples.generated": 150,
+        "coverage.resyncs": 1,
+    }
+    # Session close reset the registry for the next run.
+    assert metrics.snapshot()["counters"] == {}
+
+
+def test_gauges_last_write_wins():
+    with session() as recorder:
+        metrics.set_gauge("pool.coverage_entries", 10)
+        metrics.set_gauge("pool.coverage_entries", 42)
+    assert recorder.metrics["gauges"] == {"pool.coverage_entries": 42}
+
+
+def test_histogram_buckets_fixed_at_first_observation():
+    with session() as recorder:
+        metrics.observe("t", 0.05, buckets=(0.1, 1.0))
+        # Later bucket hints are ignored: the edges stay fixed.
+        metrics.observe("t", 0.5, buckets=(99.0,))
+        metrics.observe("t", 50.0)  # overflow bucket
+    hist = recorder.metrics["histograms"]["t"]
+    assert hist["buckets"] == [0.1, 1.0]
+    assert hist["counts"] == [1, 1, 1]
+    assert hist["count"] == 3
+    assert hist["sum"] == pytest.approx(50.55)
+
+
+def test_histogram_default_buckets_and_bad_edges():
+    with session() as recorder:
+        metrics.observe("d", 0.002)
+        with pytest.raises(ValueError, match="ascend"):
+            metrics.observe("bad", 1.0, buckets=(5.0, 1.0))
+    hist = recorder.metrics["histograms"]["d"]
+    assert tuple(hist["buckets"]) == DEFAULT_TIME_BUCKETS
+
+
+def test_snapshot_is_a_deep_enough_copy():
+    with session():
+        metrics.inc("c")
+        metrics.observe("h", 0.01)
+        snap = metrics.snapshot()
+        snap["counters"]["c"] = 999
+        snap["histograms"]["h"]["counts"][0] = 999
+        assert metrics.get_counter("c") == 1
+        assert metrics.snapshot()["histograms"]["h"]["counts"] != [999] + [
+            0
+        ] * len(DEFAULT_TIME_BUCKETS)

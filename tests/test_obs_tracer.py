@@ -1,0 +1,121 @@
+"""Tracer tests: no-op gating, nesting, exception safety, capture/ingest."""
+
+import pytest
+
+from repro.obs import NOOP_SPAN, phase_timings, session, trace
+
+pytestmark = pytest.mark.obs
+
+
+def test_span_is_noop_while_disabled():
+    span = trace.span("should/not/record", k=3)
+    assert span is NOOP_SPAN
+    with span as inner:
+        assert inner.set(extra=1) is inner
+    assert trace.snapshot() == []
+
+
+def test_spans_nest_and_record_parent_links():
+    with session():
+        with trace.span("outer", stage=1) as outer:
+            with trace.span("inner") as inner:
+                assert inner.parent_id == outer.span_id
+            with trace.span("sibling") as sibling:
+                assert sibling.parent_id == outer.span_id
+        records = trace.snapshot()
+    by_name = {r["name"]: r for r in records}
+    assert set(by_name) == {"outer", "inner", "sibling"}
+    assert by_name["outer"]["parent_id"] is None
+    assert by_name["inner"]["parent_id"] == by_name["outer"]["span_id"]
+    assert by_name["outer"]["attrs"] == {"stage": 1}
+    assert all(r["duration_seconds"] >= 0 for r in records)
+    assert all(r["status"] == "ok" for r in records)
+
+
+def test_span_ids_unique_and_pid_prefixed():
+    import os
+
+    with session():
+        ids = []
+        for _ in range(50):
+            with trace.span("x") as span:
+                ids.append(span.span_id)
+        assert len(set(ids)) == 50
+        assert all(i.startswith(f"{os.getpid():x}.") for i in ids)
+
+
+def test_exception_records_error_and_propagates():
+    with pytest.raises(ValueError, match="boom"):
+        with session():
+            with pytest.raises(ValueError, match="boom"):
+                with trace.span("outer"):
+                    with trace.span("failing"):
+                        raise ValueError("boom")
+            records = trace.snapshot()
+            failing = next(r for r in records if r["name"] == "failing")
+            assert failing["status"] == "error"
+            assert failing["error"] == "ValueError: boom"
+            # The stack unwound: a fresh span is a root again.
+            with trace.span("after") as after:
+                assert after.parent_id is None
+            raise ValueError("boom")  # session() must close on raise too
+    assert trace.span("post") is NOOP_SPAN  # gate is off again
+
+
+def test_set_merges_attributes():
+    with session() as recorder:
+        with trace.span("s", a=1) as span:
+            span.set(b=2).set(a=3)
+    (record,) = recorder.spans
+    assert record["attrs"] == {"a": 3, "b": 2}
+
+
+def test_capture_buffers_without_global_session():
+    assert trace.snapshot() == []
+    with trace.capture() as buffer:
+        with trace.span("worker/unit", batch=0):
+            pass
+        assert len(buffer) == 1
+    assert buffer[0]["name"] == "worker/unit"
+    # The global tracer saw nothing and the gate is off again.
+    assert trace.snapshot() == []
+    assert trace.span("x") is NOOP_SPAN
+
+
+def test_ingest_reparents_roots_under_current_span():
+    with trace.capture() as shipped:
+        with trace.span("worker/batch"):
+            with trace.span("worker/step"):
+                pass
+    with session() as recorder:
+        with trace.span("dispatch") as dispatch:
+            trace.ingest(shipped)
+    by_name = {r["name"]: r for r in recorder.spans}
+    assert by_name["worker/batch"]["parent_id"] == dispatch.span_id
+    # Non-root shipped spans keep their original parent.
+    assert (
+        by_name["worker/step"]["parent_id"]
+        == by_name["worker/batch"]["span_id"]
+    )
+
+
+def test_ingest_is_noop_while_disabled():
+    trace.ingest([{"type": "span", "name": "ghost", "parent_id": None}])
+    assert trace.snapshot() == []
+
+
+def test_phase_timings_aggregates_by_name():
+    records = [
+        {"type": "span", "name": "a", "duration_seconds": 0.5, "status": "ok"},
+        {"type": "span", "name": "a", "duration_seconds": 1.5, "status": "error"},
+        {"type": "span", "name": "b", "duration_seconds": 0.25, "status": "ok"},
+        {"type": "metric", "name": "ignored"},
+    ]
+    phases = phase_timings(records)
+    assert set(phases) == {"a", "b"}
+    assert phases["a"]["count"] == 2
+    assert phases["a"]["total_seconds"] == pytest.approx(2.0)
+    assert phases["a"]["min_seconds"] == 0.5
+    assert phases["a"]["max_seconds"] == 1.5
+    assert phases["a"]["errors"] == 1
+    assert phases["b"]["errors"] == 0

@@ -143,6 +143,25 @@ def test_profile_reports_inline_run_below_dispatch_floor(instance):
     assert profile["worker_utilization"] is None
 
 
+def test_serial_and_parallel_profiles_share_key_set(instance):
+    """Consumers must never branch on the engine: both samplers report
+    the unified schema (``repro.sampling.profile.PROFILE_KEYS``)."""
+    from repro.sampling.profile import PROFILE_KEYS
+
+    graph, communities = instance
+    serial = RICSampler(graph, communities, seed=1)
+    serial.sample_many(16)
+    serial_profile = serial.last_profile()
+    with ParallelRICSampler(graph, communities, seed=1, workers=2) as sampler:
+        sampler.sample_many(32)
+        parallel_profile = sampler.last_profile()
+    assert tuple(serial_profile) == PROFILE_KEYS
+    assert tuple(parallel_profile) == PROFILE_KEYS
+    assert serial_profile["mode"] == "serial"
+    assert serial_profile["workers"] == 1
+    assert parallel_profile["mode"] == "parallel"
+
+
 def test_close_is_idempotent_and_allows_resampling(instance):
     graph, communities = instance
     sampler = ParallelRICSampler(graph, communities, seed=2, workers=2)

@@ -36,3 +36,34 @@ def test_restart_overwrites_elapsed():
     with sw:
         pass
     assert sw.elapsed <= first
+
+
+def test_lap_reads_without_stopping():
+    sw = Stopwatch()
+    sw.start()
+    time.sleep(0.01)
+    first_lap = sw.lap()
+    assert first_lap >= 0.009
+    assert sw.running  # lap() does not stop the watch
+    time.sleep(0.005)
+    assert sw.lap() > first_lap
+    final = sw.stop()
+    assert final >= first_lap
+
+
+def test_lap_before_start_raises():
+    with pytest.raises(RuntimeError):
+        Stopwatch().lap()
+
+
+def test_elapsed_reads_live_while_running():
+    sw = Stopwatch()
+    assert sw.elapsed == 0.0  # never started
+    sw.start()
+    time.sleep(0.01)
+    live = sw.elapsed
+    assert live >= 0.009
+    assert sw.running  # reading elapsed does not stop the watch
+    final = sw.stop()
+    assert final >= live
+    assert sw.elapsed == final  # settled after stop
