@@ -12,7 +12,11 @@ Four subcommands cover the common workflows::
 ``solve`` and ``compare`` accept ``--trace-out``/``--metrics-out`` to
 record structured spans/metrics plus a run manifest through
 ``repro.obs`` (see ``docs/observability.md``); results are identical
-with or without instrumentation.
+with or without instrumentation. ``--metrics-format prom`` switches the
+metrics dump to the Prometheus text format, ``--monitor`` attaches a
+convergence monitor (pure observer), and ``--ci-width W`` turns it into
+adaptive sampling that stops once ĉ(S)'s relative CI width reaches
+``W``.
 
 All randomness is controlled by ``--seed``; every command prints plain
 ASCII tables (the same renderer the benchmark harness uses).
@@ -133,6 +137,36 @@ def _build_parser() -> argparse.ArgumentParser:
             "seed set is returned flagged as truncated"
         ),
     )
+    solve.add_argument(
+        "--ci-width",
+        type=float,
+        default=None,
+        metavar="W",
+        help=(
+            "adaptive sampling: stop once the relative CI width of "
+            "ĉ(S) is <= W (e.g. 0.05); attaches a ConvergenceMonitor "
+            "and records the estimator block in the manifest"
+        ),
+    )
+    solve.add_argument(
+        "--min-samples",
+        type=int,
+        default=100,
+        metavar="N",
+        help=(
+            "minimum pool samples before --ci-width may stop the run "
+            "(default: 100)"
+        ),
+    )
+    solve.add_argument(
+        "--monitor",
+        action="store_true",
+        help=(
+            "attach a ConvergenceMonitor without a stopping rule: "
+            "records the ĉ(S) trajectory and pool diagnostics, results "
+            "byte-identical to an unmonitored run"
+        ),
+    )
     _add_observability_flags(solve)
 
     compare = sub.add_parser(
@@ -217,11 +251,17 @@ def _build_parser() -> argparse.ArgumentParser:
 
     report = sub.add_parser(
         "report",
-        help="render a run manifest or trace JSONL as plain text",
+        help=(
+            "render a run manifest, trace JSONL, or metrics dump as "
+            "plain text"
+        ),
     )
     report.add_argument(
         "path",
-        help="a *.manifest.json (or trace *.jsonl) produced by --trace-out",
+        help=(
+            "a *.manifest.json, trace *.jsonl, or metrics JSONL "
+            "produced by --trace-out/--metrics-out"
+        ),
     )
 
     figure = sub.add_parser("figure", help="regenerate a paper figure")
@@ -251,26 +291,41 @@ def _add_observability_flags(subparser) -> None:
         "--metrics-out",
         default=None,
         metavar="PATH",
-        help="dump the run's counters/gauges/histograms to this JSONL file",
+        help="dump the run's counters/gauges/histograms to this file",
+    )
+    subparser.add_argument(
+        "--metrics-format",
+        default="json",
+        choices=["json", "prom"],
+        help=(
+            "--metrics-out format: typed JSONL records (json, default) "
+            "or Prometheus text exposition (prom)"
+        ),
     )
 
 
 def _with_observability(args, command: str, run) -> int:
-    """Run ``run()`` inside an instrumentation session when requested.
+    """Run ``run(extras)`` inside an instrumentation session when
+    requested.
 
     With neither ``--trace-out`` nor ``--metrics-out`` this is a plain
     call — the no-op gate stays closed and results are byte-identical.
     Otherwise a session wraps the command and a manifest is written next
-    to the trace (or metrics) artifact.
+    to the trace (or metrics) artifact. ``extras`` is a dict the command
+    may fill with extra manifest blocks (currently ``"estimator"``, the
+    convergence-monitor summary of a monitored solve).
     """
+    extras: dict = {}
     if not (args.trace_out or args.metrics_out):
-        return run()
+        return run(extras)
     from repro import obs
 
     with obs.session(
-        trace_out=args.trace_out, metrics_out=args.metrics_out
+        trace_out=args.trace_out,
+        metrics_out=args.metrics_out,
+        metrics_format=getattr(args, "metrics_format", "json"),
     ) as recorder:
-        code = run()
+        code = run(extras)
     artifacts = {}
     if args.trace_out:
         artifacts["trace"] = args.trace_out
@@ -287,6 +342,7 @@ def _with_observability(args, command: str, run) -> int:
         spans=recorder.spans,
         metrics_snapshot=recorder.metrics,
         artifacts=artifacts,
+        estimator=extras.get("estimator"),
     )
     path = obs.write_manifest(
         manifest, obs.manifest_path_for(args.trace_out or args.metrics_out)
@@ -331,7 +387,7 @@ def _cmd_table1(args) -> int:
     return 0
 
 
-def _cmd_solve(args) -> int:
+def _cmd_solve(args, extras: Optional[dict] = None) -> int:
     dataset = load_dataset(
         args.dataset, scale=args.scale, seed=derive_seed(args.seed, "dataset")
     )
@@ -359,6 +415,18 @@ def _cmd_solve(args) -> int:
         if info.get("sampling_profile"):
             profiles.append(info["sampling_profile"])
 
+    convergence = None
+    if args.ci_width is not None:
+        from repro.obs.diagnostics import ConvergenceCriterion
+
+        convergence = ConvergenceCriterion(
+            ci_width=args.ci_width, min_samples=args.min_samples
+        )
+    elif args.monitor:
+        from repro.obs.diagnostics import ConvergenceMonitor
+
+        convergence = ConvergenceMonitor()
+
     result = solve_imc(
         graph,
         communities,
@@ -374,6 +442,7 @@ def _cmd_solve(args) -> int:
         coverage_engine=args.coverage_engine,
         progress=_collect_profile,
         deadline=args.deadline,
+        convergence=convergence,
     )
     print(f"seeds: {sorted(result.selection.seeds)}")
     if result.selection.truncated:
@@ -395,6 +464,29 @@ def _cmd_solve(args) -> int:
         f"iterations={result.iterations} alpha={result.alpha:.4f}"
     )
     print(f"pool objective c_R(S) = {result.selection.objective:.3f}")
+    estimator = result.metadata.get("estimator")
+    if estimator is not None:
+        if extras is not None:
+            extras["estimator"] = estimator
+        mean = estimator.get("mean")
+        halfwidth = estimator.get("halfwidth")
+        relative = estimator.get("relative_width")
+        if mean is not None and halfwidth is not None:
+            print(
+                f"estimator: ĉ(S) = {mean:.3f} ± {halfwidth:.3f}"
+                + (
+                    f" (relative width {relative:.4f})"
+                    if relative is not None
+                    else ""
+                )
+                + f" from {estimator.get('samples', 0)} samples"
+            )
+        if result.stopped_by == "converged":
+            print(
+                f"note: adaptive sampling converged at "
+                f"{result.num_samples} samples "
+                f"(cap was {args.max_samples})"
+            )
     if args.eval_trials > 0:
         evaluate = BenefitEvaluator(
             graph,
@@ -569,10 +661,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if args.command == "table1":
             return _cmd_table1(args)
         if args.command == "solve":
-            return _with_observability(args, "solve", lambda: _cmd_solve(args))
+            return _with_observability(
+                args, "solve", lambda extras: _cmd_solve(args, extras)
+            )
         if args.command == "compare":
             return _with_observability(
-                args, "compare", lambda: _cmd_compare(args)
+                args, "compare", lambda extras: _cmd_compare(args)
             )
         if args.command == "bench":
             return _cmd_bench(args)

@@ -32,6 +32,7 @@ from repro.diffusion.estimators import dagum_stopping_rule
 from repro.errors import DeadlineExceededError, SolverError
 from repro.graph.digraph import DiGraph
 from repro.obs import metrics, trace
+from repro.obs.diagnostics import ConvergenceCriterion, ConvergenceMonitor
 from repro.rng import SeedLike, make_rng, spawn_rng
 from repro.sampling.parallel import ParallelRICSampler
 from repro.sampling.pool import RICSamplePool
@@ -145,6 +146,7 @@ def estimate_benefit(
     epsilon: float,
     delta: float,
     max_trials: Optional[int] = None,
+    monitor: Optional[ConvergenceMonitor] = None,
 ) -> EstimateResult:
     """Dagum stopping-rule estimate of ``c(S)`` via fresh RIC samples.
 
@@ -154,6 +156,11 @@ def estimate_benefit(
     ``c(S) = b·E[X_g(S)]`` (Lemma 1). ``value`` is ``None`` when
     ``max_trials`` ran out first (Alg. 6 returns -1) — IMCAF responds by
     growing its pool instead.
+
+    ``monitor``, when given, observes every drawn indicator
+    (:meth:`~repro.obs.diagnostics.ConvergenceMonitor.observe_trial`)
+    — a pure tap on the trial stream that changes neither the draws nor
+    the stopping decision.
     """
     seed_set = set(seeds)
     if not seed_set:
@@ -161,7 +168,12 @@ def estimate_benefit(
 
     def draw() -> float:
         sample = sampler.sample()
-        return 1.0 if sample.is_influenced_by(seed_set) else 0.0
+        outcome = 1.0 if sample.is_influenced_by(seed_set) else 0.0
+        if monitor is not None:
+            monitor.observe_trial(
+                outcome, community_index=sample.community_index
+            )
+        return outcome
 
     outcome = dagum_stopping_rule(draw, epsilon, delta, max_trials=max_trials)
     b = sampler.communities.total_benefit
@@ -184,9 +196,15 @@ class IMCResult:
     statistical cross-check accepted the candidate), ``"psi"`` (the
     worst-case sample bound was reached — the guarantee still holds, by
     Theorem 6), ``"max_samples"`` (the practical cap; guarantee
-    heuristic beyond this point), or ``"deadline"`` (the time budget
+    heuristic beyond this point), ``"converged"`` (an adaptive-sampling
+    :class:`~repro.obs.diagnostics.ConvergenceCriterion` was satisfied
+    — see ``convergence=``), or ``"deadline"`` (the time budget
     expired — the best seed set found so far is returned with
     ``selection.truncated`` set).
+
+    When a convergence monitor was attached, ``metadata["estimator"]``
+    carries its summary: final mean/CI/sample count, the ĉ(S)
+    trajectory, per-community activation rates and pool composition.
     """
 
     selection: SeedSelection
@@ -216,6 +234,7 @@ def solve_imc(
     workers: Optional[int] = None,
     coverage_engine: Optional[str] = None,
     deadline: Union[None, float, Deadline] = None,
+    convergence: Union[None, ConvergenceCriterion, ConvergenceMonitor] = None,
 ) -> IMCResult:
     """Solve IMC with the IMCAF framework (Algorithm 5).
 
@@ -256,6 +275,19 @@ def solve_imc(
     batch shape, worker utilisation and self-healing counters. Both
     engines emit the same key set; under the serial engine the fan-out
     fields are trivial (``mode="serial"``, one batch, no utilisation).
+
+    ``convergence`` attaches estimator-quality diagnostics
+    (``docs/observability.md``, "Estimator quality"). Pass a
+    :class:`~repro.obs.diagnostics.ConvergenceMonitor` to *observe*:
+    the monitor sees every sample batch, every stop-stage evaluation
+    and every Estimate trial, records the ĉ(S)-vs-sample-count
+    trajectory, and fills ``metadata["estimator"]`` — results stay
+    byte-identical (the monitor is a pure observer: no RNG draws, no
+    pool mutation). Pass a
+    :class:`~repro.obs.diagnostics.ConvergenceCriterion` to also *act*:
+    sampling stops early once the relative CI width of ĉ(S) reaches the
+    criterion's target (``stopped_by="converged"``) — the one
+    diagnostics mode that changes results.
 
     ``deadline`` bounds wall-clock time: seconds (float) or a
     :class:`~repro.utils.retry.Deadline`. It is checked between stop
@@ -299,6 +331,13 @@ def solve_imc(
     if solver_lends_engine:
         prior_engine = solver.engine  # type: ignore[attr-defined]
         solver.engine = coverage_engine  # type: ignore[attr-defined]
+    monitor: Optional[ConvergenceMonitor] = None
+    if convergence is not None:
+        monitor = (
+            convergence
+            if isinstance(convergence, ConvergenceMonitor)
+            else ConvergenceMonitor(convergence)
+        )
     rng = make_rng(seed)
     owns_sampler = pool is None
     if pool is None:
@@ -346,8 +385,23 @@ def solve_imc(
     def out_of_time() -> bool:
         return deadline is not None and deadline.expired()
 
+    def grow_pool(amount: Optional[int] = None, target: Optional[int] = None):
+        """Grow the pool, showing the monitor each landed batch."""
+        before = len(pool)
+        if target is not None:
+            pool.grow_to(target)
+        else:
+            pool.grow(amount or 0)
+        if monitor is not None and len(pool) > before:
+            monitor.observe_batch(
+                pool.samples[before:],
+                sampler.last_profile()
+                if hasattr(sampler, "last_profile")
+                else None,
+            )
+
     try:
-        pool.grow_to(math.ceil(lam))
+        grow_pool(target=math.ceil(lam))
         with trace.span("imc/select", stage=1, num_samples=len(pool)):
             selection = solver.solve(pool, k)
 
@@ -391,6 +445,17 @@ def solve_imc(
                         ),
                     }
                 )
+            if monitor is not None:
+                monitor.observe_stage(pool, selection.seeds, coverage)
+                if monitor.should_stop():
+                    # Adaptive sampling: the relative CI width of ĉ(S)
+                    # reached the criterion's target — stop before
+                    # paying for the Estimate cross-check or another
+                    # doubling. Only reachable with a criterion, so
+                    # monitoring alone never alters the control flow.
+                    stopped_by = "converged"
+                    metrics.inc("estimator.adaptive.stops")
+                    break
             if coverage >= lam and selection.seeds:
                 # Line 9: δ' spreads δ/3 over the doubling stages.
                 stages = max(1.0, math.log2(max(psi / lam, 2.0)))
@@ -405,6 +470,7 @@ def solve_imc(
                         epsilon=eps_stage,
                         delta=min(delta_stage, 0.5),
                         max_trials=t_max,
+                        monitor=monitor,
                     )
                 if estimate.converged and estimate.value is not None:
                     benefit_estimate = estimate.value
@@ -421,7 +487,7 @@ def solve_imc(
                 metrics.inc("deadline.truncated")
                 selection = replace(selection, truncated=True)
                 break
-            pool.grow(min(len(pool), math.ceil(cap) - len(pool)))
+            grow_pool(amount=min(len(pool), math.ceil(cap) - len(pool)))
     finally:
         # Release worker processes when this call created the sampler.
         if owns_sampler and hasattr(sampler, "close"):
@@ -431,6 +497,10 @@ def solve_imc(
         if solver_lends_engine:
             solver.engine = prior_engine  # type: ignore[attr-defined]
 
+    metadata: Dict[str, Any] = {"epsilon": epsilon, "delta": delta, "k": k}
+    if monitor is not None:
+        monitor.finalize(pool)
+        metadata["estimator"] = monitor.summary()
     return IMCResult(
         selection=selection,
         num_samples=len(pool),
@@ -440,5 +510,5 @@ def solve_imc(
         stopped_by=stopped_by,
         benefit_estimate=benefit_estimate,
         alpha=alpha,
-        metadata={"epsilon": epsilon, "delta": delta, "k": k},
+        metadata=metadata,
     )

@@ -42,6 +42,7 @@ from repro.obs import (
     enabled as obs_enabled,
     manifest_path_for,
     metrics,
+    observe_pool,
     trace,
     write_manifest,
 )
@@ -135,6 +136,12 @@ def make_pool(
     pool.grow(size if size is not None else config.pool_size)
     if config.engine == "parallel":
         sampler.close()
+    if obs_enabled():
+        # Instrumented suites get the pool-composition diagnostics
+        # (reach-size/source histograms, dedup ratio, footprint gauge)
+        # for free; computing them only under an active session keeps
+        # the uninstrumented path untouched.
+        observe_pool(pool)
     return pool
 
 

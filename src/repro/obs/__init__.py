@@ -34,8 +34,26 @@ from repro.obs.manifest import (
     manifest_path_for,
     write_manifest,
 )
-from repro.obs.metrics import DEFAULT_TIME_BUCKETS, MetricsRegistry, metrics
-from repro.obs.report import render_report
+from repro.obs.diagnostics import (
+    ActivationTracker,
+    ConvergenceCriterion,
+    ConvergenceMonitor,
+    StreamingMoments,
+    bernoulli_sample_variance,
+    empirical_bernstein_halfwidth,
+    normal_halfwidth,
+    observe_pool,
+    pool_composition,
+    pool_memory_bytes,
+)
+from repro.obs.metrics import (
+    CATALOG,
+    DEFAULT_TIME_BUCKETS,
+    MetricsRegistry,
+    metrics,
+    to_prometheus_text,
+)
+from repro.obs.report import render_metrics, render_report
 from repro.obs.session import Recorder, disable, enable, enabled, session
 from repro.obs.sinks import JsonlSink, read_jsonl, write_jsonl
 from repro.obs.tracer import NOOP_SPAN, Span, Tracer, phase_timings, trace
@@ -51,6 +69,19 @@ __all__ = [
     "metrics",
     "MetricsRegistry",
     "DEFAULT_TIME_BUCKETS",
+    "CATALOG",
+    "to_prometheus_text",
+    # estimator-quality diagnostics
+    "StreamingMoments",
+    "ActivationTracker",
+    "ConvergenceCriterion",
+    "ConvergenceMonitor",
+    "normal_halfwidth",
+    "empirical_bernstein_halfwidth",
+    "bernoulli_sample_variance",
+    "pool_composition",
+    "pool_memory_bytes",
+    "observe_pool",
     # sinks
     "JsonlSink",
     "write_jsonl",
@@ -75,4 +106,5 @@ __all__ = [
     "require_clean_tree",
     # reporting
     "render_report",
+    "render_metrics",
 ]

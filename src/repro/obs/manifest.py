@@ -22,6 +22,10 @@ Schema (``repro-run-manifest/1``)::
       "phase_timings": {span name: {count, total_seconds, ...}},
       "metrics":       metrics registry snapshot,
       "artifacts":     {label: path} of files the run produced,
+      "estimator":     ConvergenceMonitor.summary() block — final
+                       mean/CI/sample count, ĉ(S) trajectory and pool
+                       composition (present only when the run attached
+                       a convergence monitor),
     }
 """
 
@@ -60,6 +64,7 @@ def build_manifest(
     spans: Optional[Iterable[Dict[str, Any]]] = None,
     metrics_snapshot: Optional[Dict[str, Any]] = None,
     artifacts: Optional[Dict[str, str]] = None,
+    estimator: Optional[Dict[str, Any]] = None,
 ) -> Dict[str, Any]:
     """Assemble a manifest document for the current (or a finished) run.
 
@@ -67,10 +72,15 @@ def build_manifest(
     registry state, so calling this at the end of an instrumented run
     captures everything; an already-closed
     :class:`~repro.obs.session.Recorder` passes its retained copies.
+    ``estimator`` is a
+    :meth:`~repro.obs.diagnostics.ConvergenceMonitor.summary` dict
+    (``result.metadata["estimator"]`` from a monitored ``solve_imc``);
+    the key is included only when provided, so unmonitored manifests
+    keep their PR-4 shape.
     """
     config = dict(config or {})
     span_records = list(spans) if spans is not None else trace.snapshot()
-    return {
+    document = {
         "schema": MANIFEST_SCHEMA,
         "run_id": uuid.uuid4().hex[:16],
         "created_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
@@ -87,6 +97,9 @@ def build_manifest(
         ),
         "artifacts": dict(artifacts or {}),
     }
+    if estimator is not None:
+        document["estimator"] = dict(estimator)
+    return document
 
 
 def write_manifest(manifest: Dict[str, Any], path: str) -> str:

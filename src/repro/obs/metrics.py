@@ -16,6 +16,7 @@ workload produce directly comparable distributions.
 from __future__ import annotations
 
 import bisect
+import math
 import threading
 from typing import Any, Dict, Optional, Sequence, Tuple
 
@@ -26,6 +27,43 @@ from repro.obs import _gate
 DEFAULT_TIME_BUCKETS: Tuple[float, ...] = (
     0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 60.0, 300.0,
 )
+
+#: Catalogue of every metric name the package emits, mapped to a
+#: one-line description. ``scripts/check_metric_names.py`` greps ``src/``
+#: for ``inc(``/``set_gauge(``/``observe(`` call sites and fails when a
+#: literal name is missing here, and the docs-consistency test requires
+#: every catalogued name to appear in ``docs/observability.md`` — so
+#: this dict, the code and the docs cannot drift apart. Add the entry
+#: *first* when introducing a metric.
+CATALOG: Dict[str, str] = {
+    # counters
+    "ric.samples.generated": "RIC samples generated (both engines)",
+    "coverage.resyncs": "coverage-engine rebuilds after pool growth",
+    "heap.compactions": "lazy-heap compaction passes",
+    "pool.compactions": "pool compact()/interning passes",
+    "parallel.batches.redispatched": "parallel batches retried after worker loss",
+    "parallel.worker.restarts": "parallel worker processes restarted",
+    "deadline.truncated": "runs truncated by an expired deadline",
+    "experiment.runs.completed": "experiment repetitions completed",
+    "experiment.runs.skipped": "experiment repetitions skipped (resume)",
+    "campaign.cells.completed": "campaign grid cells completed",
+    "campaign.cells.skipped": "campaign grid cells skipped (resume)",
+    "checkpoint.records.written": "checkpoint records appended",
+    "estimator.stages": "stop-stage ĉ(S) evaluations observed",
+    "estimator.trials.observed": "Algorithm 6 (Dagum) trial draws observed",
+    "estimator.adaptive.stops": "adaptive early stops (CI criterion met)",
+    # gauges
+    "pool.coverage_entries": "inverted-index (sample, member) pairs at last compact()",
+    "pool.bytes": "approximate pool memory footprint in bytes",
+    "pool.reach.unique_ratio": "distinct reach sets / total reach sets",
+    "estimator.mean": "latest stop-stage benefit estimate ĉ(S)",
+    "estimator.ci.halfwidth": "latest CI halfwidth of ĉ(S) (benefit units)",
+    "estimator.ci.width": "latest relative CI width (halfwidth / ĉ)",
+    "estimator.samples.used": "pool samples behind the latest ĉ(S)",
+    # histograms
+    "pool.reach.histogram": "reach-set size distribution",
+    "pool.sources.histogram": "samples-per-source-community distribution",
+}
 
 
 class MetricsRegistry:
@@ -48,9 +86,22 @@ class MetricsRegistry:
     # -- mutators (no-ops while disabled) ------------------------------
 
     def inc(self, name: str, value: float = 1) -> None:
-        """Add ``value`` (default 1) to counter ``name``."""
+        """Add ``value`` (default 1) to counter ``name``.
+
+        Counters are monotone: a negative ``value`` raises
+        ``ValueError`` (use a gauge for values that go down). The gate
+        is checked first, so a buggy negative increment on a disabled
+        registry stays a silent no-op — exactly as cheap as every other
+        disabled mutator — and only trips once instrumentation is on.
+        """
         if not _gate.active:
             return
+        if value < 0:
+            raise ValueError(
+                f"counter {name!r} cannot be decremented (got {value}); "
+                "counters are monotone — use set_gauge for values that "
+                "go down"
+            )
         with self._lock:
             self._counters[name] = self._counters.get(name, 0) + value
 
@@ -68,6 +119,10 @@ class MetricsRegistry:
         ``buckets`` (ascending upper edges) is honoured only on the
         histogram's *first* observation; later calls reuse the fixed
         edges so the distribution stays comparable within the run.
+
+        Edges are *upper-inclusive*: a value exactly equal to an edge
+        counts in that edge's bucket (Prometheus ``le`` semantics), and
+        anything above the last edge lands in the overflow bucket.
         """
         if not _gate.active:
             return
@@ -120,6 +175,72 @@ class MetricsRegistry:
             self._counters.clear()
             self._gauges.clear()
             self._histograms.clear()
+
+
+def _prom_name(name: str, suffix: str = "") -> str:
+    """Sanitize a dotted metric name for the Prometheus exposition
+    format: dots and any other illegal characters become underscores."""
+    sanitized = "".join(
+        ch if ch.isalnum() or ch == "_" else "_" for ch in name
+    )
+    if sanitized and sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return sanitized + suffix
+
+
+def _prom_value(value: float) -> str:
+    """Render a sample value; integers print without a trailing .0."""
+    if isinstance(value, float) and math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value) == int(value):
+        return str(int(value))
+    return repr(float(value))
+
+
+def to_prometheus_text(snapshot: Dict[str, Any]) -> str:
+    """Render a :meth:`MetricsRegistry.snapshot` dict in the Prometheus
+    text exposition format (version 0.0.4).
+
+    Counters gain the conventional ``_total`` suffix, gauges export
+    as-is, and histograms expand into *cumulative* ``_bucket{le="..."}``
+    series (plus the mandatory ``le="+Inf"`` bucket, ``_sum`` and
+    ``_count``) — the registry's upper-inclusive buckets are already
+    ``le``-compatible, so the only transformation is the running sum.
+    Dotted names are sanitized (``pool.bytes`` → ``pool_bytes``) and
+    ``# HELP``/``# TYPE`` headers are emitted per family, with HELP text
+    drawn from :data:`CATALOG` when the name is catalogued. Output is
+    sorted by family name so exports diff cleanly across runs.
+    """
+    lines = []
+    families = []
+    for name, value in snapshot.get("counters", {}).items():
+        families.append((name, "counter", value))
+    for name, value in snapshot.get("gauges", {}).items():
+        families.append((name, "gauge", value))
+    for name, hist in snapshot.get("histograms", {}).items():
+        families.append((name, "histogram", hist))
+    for name, kind, value in sorted(families):
+        family = _prom_name(name, "_total" if kind == "counter" else "")
+        help_text = CATALOG.get(name)
+        if help_text:
+            lines.append(f"# HELP {family} {help_text}")
+        lines.append(f"# TYPE {family} {kind}")
+        if kind == "histogram":
+            cumulative = 0
+            for edge, count in zip(value["buckets"], value["counts"]):
+                cumulative += count
+                lines.append(
+                    f'{family}_bucket{{le="{_prom_value(edge)}"}} '
+                    f"{cumulative}"
+                )
+            lines.append(
+                f'{family}_bucket{{le="+Inf"}} {value["count"]}'
+            )
+            lines.append(f"{family}_sum {_prom_value(value['sum'])}")
+            lines.append(f"{family}_count {value['count']}")
+        else:
+            lines.append(f"{family} {_prom_value(value)}")
+    return "\n".join(lines) + ("\n" if lines else "")
 
 
 #: The process-wide registry instance every instrumented module imports.

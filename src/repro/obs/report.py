@@ -1,10 +1,13 @@
-"""Human-readable rendering of manifests and trace files.
+"""Human-readable rendering of manifests, traces and metrics dumps.
 
 Backs ``python -m repro report <file>``: point it at a run manifest
-(``*.manifest.json``) or a raw span trace (``*.jsonl``) and it prints a
-plain-text summary — environment, per-phase timing table, counters,
-gauges and histograms. Pure string formatting, no dependencies beyond
-the standard library.
+(``*.manifest.json``), a raw span trace (``*.jsonl``) or a metrics dump
+(the ``--metrics-out`` JSONL of typed counter/gauge/histogram records)
+and it prints a plain-text summary — environment, per-phase timing
+table, counters, gauges, histogram bucket tables, and (for monitored
+runs) the estimator-quality block with its convergence-trajectory
+sparkline. Pure string formatting, no dependencies beyond the standard
+library.
 """
 
 from __future__ import annotations
@@ -51,6 +54,56 @@ def _timing_lines(phases: Dict[str, Dict[str, Any]]) -> List[str]:
     return lines
 
 
+#: Glyph ramp for text sparklines, lowest to highest.
+SPARK_GLYPHS = "▁▂▃▄▅▆▇█"
+
+
+def _sparkline(values: List[float]) -> str:
+    """Render ``values`` as a fixed-height unicode sparkline."""
+    if not values:
+        return ""
+    lo, hi = min(values), max(values)
+    if hi <= lo:
+        return SPARK_GLYPHS[0] * len(values)
+    span = hi - lo
+    top = len(SPARK_GLYPHS) - 1
+    return "".join(
+        SPARK_GLYPHS[min(top, int((v - lo) / span * top + 0.5))]
+        for v in values
+    )
+
+
+def _fmt_edge(value: Any) -> str:
+    """Bucket-edge label: integral edges print without the .0."""
+    number = float(value)
+    if number == int(number):
+        return str(int(number))
+    return f"{number:g}"
+
+
+def _histogram_lines(name: str, hist: Dict[str, Any]) -> List[str]:
+    """Render one histogram as a per-bucket table with a bar column."""
+    count = hist.get("count", 0)
+    total = hist.get("sum", 0.0)
+    mean = total / count if count else 0.0
+    lines = [f"  {name}: count={count} sum={total:.6g} mean={mean:.6g}"]
+    edges = list(hist.get("buckets") or [])
+    counts = list(hist.get("counts") or [])
+    if not edges or not counts or not count:
+        return lines
+    labels = [f"<= {_fmt_edge(edge)}" for edge in edges]
+    if len(counts) > len(edges):
+        labels.append(f"> {_fmt_edge(edges[-1])}")
+    width = max(len(label) for label in labels)
+    peak = max(counts)
+    for label, bucket_count in zip(labels, counts):
+        bar = "█" * round(bucket_count / peak * 20) if peak else ""
+        lines.append(
+            f"    {label.rjust(width)}  {bucket_count:>8}  {bar}"
+        )
+    return lines
+
+
 def _metrics_lines(snapshot: Dict[str, Any]) -> List[str]:
     """Render a metrics snapshot (counters/gauges/histograms)."""
     lines: List[str] = []
@@ -68,15 +121,87 @@ def _metrics_lines(snapshot: Dict[str, Any]) -> List[str]:
     if histograms:
         lines.append("histograms:")
         for name in sorted(histograms):
-            hist = histograms[name]
-            count = hist.get("count", 0)
-            total = hist.get("sum", 0.0)
-            mean = total / count if count else 0.0
-            lines.append(
-                f"  {name}: count={count} sum={total:.6g} mean={mean:.6g}"
-            )
+            lines.extend(_histogram_lines(name, histograms[name]))
     if not lines:
         lines.append("(no metrics recorded)")
+    return lines
+
+
+def _estimator_lines(block: Dict[str, Any]) -> List[str]:
+    """Render a manifest ``estimator`` block (ConvergenceMonitor
+    summary): final statistics, the ĉ(S)-vs-samples trajectory as a
+    sparkline plus table, the most-activated communities and the pool
+    composition line."""
+    lines = ["estimator:"]
+    mean = block.get("mean")
+    halfwidth = block.get("halfwidth")
+    relative = block.get("relative_width")
+    parts = []
+    if mean is not None:
+        parts.append(f"ĉ(S) = {mean:.6g}")
+    if halfwidth is not None:
+        parts.append(f"± {halfwidth:.4g}")
+    if relative is not None:
+        parts.append(f"(relative width {relative:.4g})")
+    if parts:
+        lines.append("  " + " ".join(parts))
+    criterion = block.get("criterion")
+    status = "converged" if block.get("converged") else "not converged"
+    if criterion:
+        lines.append(
+            f"  stopping rule: relative width <= {criterion.get('ci_width')} "
+            f"after >= {criterion.get('min_samples')} samples "
+            f"({criterion.get('method')}, delta={criterion.get('delta')}) "
+            f"— {status}"
+        )
+    lines.append(
+        f"  samples used: {block.get('samples', 0)} over "
+        f"{block.get('stages', 0)} stage(s)"
+    )
+    trajectory = block.get("trajectory") or []
+    if trajectory:
+        estimates = [point.get("estimate", 0.0) for point in trajectory]
+        lines.append(f"  trajectory: {_sparkline(estimates)}")
+        lines.append(
+            f"    {'samples':>10}  {'ĉ(S)':>12}  {'halfwidth':>10}  "
+            f"{'rel.width':>10}"
+        )
+        for point in trajectory:
+            rel = point.get("relative_width")
+            lines.append(
+                f"    {point.get('samples', 0):>10}  "
+                f"{point.get('estimate', 0.0):>12.6g}  "
+                f"{point.get('halfwidth', 0.0):>10.4g}  "
+                f"{(f'{rel:.4g}' if rel is not None else '—'):>10}"
+            )
+    trials = block.get("estimate_trials")
+    if trials:
+        lines.append(
+            f"  cross-check trials: {trials.get('count', 0)} "
+            f"(mean {trials.get('mean', 0.0):.4g}, "
+            f"std {trials.get('std', 0.0):.4g})"
+        )
+    communities = block.get("communities") or {}
+    if communities:
+        ranked = sorted(
+            communities.items(),
+            key=lambda item: -item[1].get("rate", 0.0),
+        )[:5]
+        rendered = ", ".join(
+            f"{index}: {entry.get('rate', 0.0):.3f} "
+            f"({entry.get('influenced', 0)}/{entry.get('seen', 0)})"
+            for index, entry in ranked
+        )
+        lines.append(f"  top community activation: {rendered}")
+    pool = block.get("pool") or {}
+    if pool:
+        lines.append(
+            f"  pool: {pool.get('samples', 0)} samples, "
+            f"{pool.get('unique_reach_sets', 0)}/"
+            f"{pool.get('reach_sets', 0)} distinct reach sets "
+            f"(ratio {pool.get('unique_ratio', 0.0):.3f}), "
+            f"~{pool.get('bytes', 0)} bytes"
+        )
     return lines
 
 
@@ -107,6 +232,9 @@ def render_manifest(manifest: Dict[str, Any]) -> str:
     lines.append("phase timings:")
     lines.extend(_timing_lines(manifest.get("phase_timings") or {}))
     lines.extend(_metrics_lines(manifest.get("metrics") or {}))
+    estimator = manifest.get("estimator")
+    if estimator:
+        lines.extend(_estimator_lines(estimator))
     return "\n".join(lines)
 
 
@@ -118,20 +246,60 @@ def render_trace(records: List[Dict[str, Any]]) -> str:
     return "\n".join(lines)
 
 
+_METRIC_RECORD_TYPES = {"counter", "gauge", "histogram"}
+
+
+def render_metrics(records: List[Dict[str, Any]]) -> str:
+    """Render a metrics dump (the ``--metrics-out`` JSONL of typed
+    counter/gauge/histogram records, or a raw snapshot dict) including
+    per-bucket histogram tables."""
+    if isinstance(records, dict):
+        snapshot: Dict[str, Any] = records
+    else:
+        snapshot = {"counters": {}, "gauges": {}, "histograms": {}}
+        for record in records:
+            kind = record.get("type")
+            name = record.get("name", "?")
+            if kind == "counter":
+                snapshot["counters"][name] = record.get("value")
+            elif kind == "gauge":
+                snapshot["gauges"][name] = record.get("value")
+            elif kind == "histogram":
+                snapshot["histograms"][name] = {
+                    key: record.get(key)
+                    for key in ("buckets", "counts", "count", "sum")
+                }
+    total = (
+        len(snapshot["counters"])
+        + len(snapshot["gauges"])
+        + len(snapshot["histograms"])
+    )
+    lines = [f"metrics: {total} series"]
+    lines.extend(_metrics_lines(snapshot))
+    return "\n".join(lines)
+
+
 def render_report(path: str) -> str:
     """Render whatever observability artifact lives at ``path``.
 
     Detects the format: a JSON document stamped ``repro-run-manifest/1``
-    is rendered as a manifest; anything else parseable as JSONL is
-    rendered as a span trace. Raises
-    :class:`~repro.errors.ObservabilityError` when the file is neither.
+    is rendered as a manifest; JSONL whose records are all typed
+    ``counter``/``gauge``/``histogram`` entries is rendered as a metrics
+    dump (bucket tables included); any other parseable JSONL is rendered
+    as a span trace. Raises
+    :class:`~repro.errors.ObservabilityError` when the file is none of
+    those.
     """
     try:
         with open(path, "r", encoding="utf-8") as handle:
             head = handle.read(4096)
     except OSError as exc:
         raise ObservabilityError(f"cannot read {path!r}: {exc}") from exc
-    if MANIFEST_SCHEMA in head:
+    # A manifest is a single pretty-printed JSON document (its schema
+    # stamp may sit past any fixed head-read once large blocks sort
+    # before "schema"); JSONL artifacts are one object per line, so a
+    # bare "{" first line is unambiguous.
+    if MANIFEST_SCHEMA in head or head.lstrip().startswith("{\n"):
         try:
             return render_manifest(load_manifest(path))
         except json.JSONDecodeError as exc:
@@ -143,6 +311,12 @@ def render_report(path: str) -> str:
         records = read_jsonl(path)
     except json.JSONDecodeError as exc:
         raise ObservabilityError(
-            f"{path!r} is neither a run manifest nor a JSONL trace"
+            f"{path!r} is neither a run manifest, a metrics dump, nor "
+            f"a JSONL trace"
         ) from exc
+    if records and all(
+        isinstance(r, dict) and r.get("type") in _METRIC_RECORD_TYPES
+        for r in records
+    ):
+        return render_metrics(records)
     return render_trace(records)

@@ -233,6 +233,32 @@ class RICSamplePool:
             if len(members) >= self.samples[sample_idx].threshold
         )
 
+    def influenced_count_by_community(
+        self, seeds: Iterable[int]
+    ) -> Tuple[Dict[int, int], Dict[int, int]]:
+        """Per-source-community split of :meth:`influenced_count`.
+
+        Returns ``(seen, influenced)``: how many pool samples each
+        community sourced, and how many of those ``seeds`` influence.
+        Same single pass over the coverage index as
+        :meth:`influenced_count`; backs the per-community
+        activation-probability diagnostics in
+        :mod:`repro.obs.diagnostics`.
+        """
+        seed_set = set(seeds)
+        covered: Dict[int, Set[int]] = {}
+        for v in seed_set:
+            for sample_idx, member_idx in self.coverage_of(v):
+                covered.setdefault(sample_idx, set()).add(member_idx)
+        influenced: Dict[int, int] = {}
+        for sample_idx, members in covered.items():
+            sample = self.samples[sample_idx]
+            if len(members) >= sample.threshold:
+                influenced[sample.community_index] = (
+                    influenced.get(sample.community_index, 0) + 1
+                )
+        return dict(self._community_counts), influenced
+
     def estimate_benefit(self, seeds: Iterable[int]) -> float:
         """``ĉ_R(S) = (b/|R|) Σ_g X_g(S)`` (eq. 3). 0.0 on an empty pool."""
         if not self.samples:

@@ -77,3 +77,58 @@ def test_design_md_flags_paper_match():
     text = (ROOT / "DESIGN.md").read_text()
     assert "Paper check" in text
     assert "IMC" in text
+
+
+# ---------------------------------------------------------------------
+# Metric-name catalogue: code ↔ CATALOG ↔ docs can never drift
+# ---------------------------------------------------------------------
+
+
+def _load_metric_lint():
+    import importlib.util
+
+    spec = importlib.util.spec_from_file_location(
+        "check_metric_names", ROOT / "scripts" / "check_metric_names.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_every_emitted_metric_name_is_catalogued():
+    from repro.obs.metrics import CATALOG
+
+    lint = _load_metric_lint()
+    sites = lint.find_metric_call_sites()
+    assert sites, "no metric call sites found under src/ — lint broken?"
+    missing, stale = lint.check_catalog(CATALOG, sites)
+    assert not missing, (
+        "metric names emitted but missing from CATALOG: "
+        f"{sorted({site.name for site in missing})}"
+    )
+    assert not stale, f"CATALOG entries with no call site: {stale}"
+
+
+def test_every_catalogued_metric_is_documented():
+    from repro.obs.metrics import CATALOG
+
+    text = (ROOT / "docs" / "observability.md").read_text()
+    undocumented = sorted(
+        name for name in CATALOG if f"`{name}`" not in text
+    )
+    assert not undocumented, (
+        "CATALOG names absent from docs/observability.md's metric "
+        f"table: {undocumented}"
+    )
+
+
+def test_metric_lint_script_passes_as_a_script():
+    import subprocess
+    import sys
+
+    result = subprocess.run(
+        [sys.executable, str(ROOT / "scripts" / "check_metric_names.py")],
+        capture_output=True,
+        text=True,
+    )
+    assert result.returncode == 0, result.stderr or result.stdout

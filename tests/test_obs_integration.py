@@ -155,6 +155,99 @@ def test_compare_trace_out_writes_manifest(capsys, tmp_path):
     assert manifest["command"] == "compare"
 
 
+def test_cli_adaptive_solve_records_estimator_everywhere(capsys, tmp_path):
+    """--ci-width stops early on an easy instance; the manifest gains
+    the estimator block, the metrics dump records samples.used below
+    the configured cap, and report renders the trajectory."""
+    metrics_path = tmp_path / "run.metrics.jsonl"
+    code = main(
+        SOLVE_ARGS
+        + [
+            "--ci-width",
+            "0.3",
+            "--min-samples",
+            "50",
+            "--max-samples",
+            "50000",
+            "--metrics-out",
+            str(metrics_path),
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "adaptive sampling converged" in out
+    assert "estimator: ĉ(S) =" in out
+
+    gauges = {
+        r["name"]: r["value"]
+        for r in read_jsonl(str(metrics_path))
+        if r["type"] == "gauge"
+    }
+    assert 0 < gauges["estimator.samples.used"] < 50_000
+
+    manifest = load_manifest(str(tmp_path / "run.metrics.manifest.json"))
+    block = manifest["estimator"]
+    assert block["converged"] is True
+    assert block["samples"] == gauges["estimator.samples.used"]
+    assert block["criterion"]["ci_width"] == 0.3
+
+    assert main(["report", str(tmp_path / "run.metrics.manifest.json")]) == 0
+    report = capsys.readouterr().out
+    assert "estimator:" in report
+    assert "trajectory:" in report
+    assert "converged" in report
+
+
+def test_cli_monitor_flag_is_byte_identical(capsys):
+    assert main(SOLVE_ARGS) == 0
+    plain = capsys.readouterr().out
+    assert main(SOLVE_ARGS + ["--monitor"]) == 0
+    monitored = capsys.readouterr().out
+    # The monitored run prints one extra estimator line; everything
+    # else — seeds, stop reason, objective — is identical.
+    extra = [
+        line
+        for line in _result_lines(monitored)
+        if line not in _result_lines(plain)
+    ]
+    assert all(line.startswith("estimator:") for line in extra)
+    assert [
+        line
+        for line in _result_lines(monitored)
+        if not line.startswith("estimator:")
+    ] == _result_lines(plain)
+
+
+def test_cli_metrics_format_prom(capsys, tmp_path):
+    prom_path = tmp_path / "run.prom"
+    code = main(
+        SOLVE_ARGS
+        + ["--metrics-out", str(prom_path), "--metrics-format", "prom"]
+    )
+    assert code == 0
+    text = prom_path.read_text()
+    assert "# TYPE ric_samples_generated_total counter" in text
+    assert "ric_samples_generated_total" in text
+
+
+def test_report_renders_metrics_dump_with_bucket_tables(capsys, tmp_path):
+    metrics_path = tmp_path / "run.metrics.jsonl"
+    assert (
+        main(
+            SOLVE_ARGS
+            + ["--monitor", "--metrics-out", str(metrics_path)]
+        )
+        == 0
+    )
+    capsys.readouterr()
+    assert main(["report", str(metrics_path)]) == 0
+    report = capsys.readouterr().out
+    assert report.startswith("metrics:")
+    assert "ric.samples.generated" in report
+    assert "pool.reach.histogram" in report
+    assert "<= 1" in report  # the per-bucket table rows
+
+
 def test_bench_record_refuses_dirty_tree(capsys, tmp_path, monkeypatch):
     import repro.obs.environment as environment
 

@@ -1,8 +1,16 @@
-"""Metrics registry tests: gating, counters, gauges, histograms."""
+"""Metrics registry tests: gating, counters, gauges, histograms,
+edge cases (bucket boundaries, negative increments, reset-after-
+snapshot) and the Prometheus text export."""
 
 import pytest
 
-from repro.obs import DEFAULT_TIME_BUCKETS, metrics, session
+from repro.obs import (
+    CATALOG,
+    DEFAULT_TIME_BUCKETS,
+    metrics,
+    session,
+    to_prometheus_text,
+)
 
 pytestmark = pytest.mark.obs
 
@@ -70,3 +78,115 @@ def test_snapshot_is_a_deep_enough_copy():
         assert metrics.snapshot()["histograms"]["h"]["counts"] != [999] + [
             0
         ] * len(DEFAULT_TIME_BUCKETS)
+
+
+# ---------------------------------------------------------------------
+# Edge cases (bucket boundaries, gauge overwrite, reset, negative inc)
+# ---------------------------------------------------------------------
+
+
+def test_histogram_values_on_bucket_boundaries_are_upper_inclusive():
+    # A value exactly equal to an edge counts in that edge's bucket
+    # (Prometheus `le` semantics) — pinned for every edge.
+    with session() as recorder:
+        for edge in (1.0, 2.0, 4.0):
+            metrics.observe("edges", edge, buckets=(1.0, 2.0, 4.0))
+    hist = recorder.metrics["histograms"]["edges"]
+    assert hist["counts"] == [1, 1, 1, 0]
+
+
+def test_histogram_boundary_value_just_above_edge_moves_up():
+    with session() as recorder:
+        metrics.observe("edges", 1.0, buckets=(1.0, 2.0))
+        metrics.observe("edges", 1.0000001, buckets=(1.0, 2.0))
+    assert recorder.metrics["histograms"]["edges"]["counts"] == [1, 1, 0]
+
+
+def test_gauge_overwrite_keeps_only_last_value_and_allows_regression():
+    with session() as recorder:
+        metrics.set_gauge("g", 100.0)
+        metrics.set_gauge("g", -3.5)  # gauges may go down, unlike counters
+    assert recorder.metrics["gauges"] == {"g": -3.5}
+
+
+def test_reset_after_snapshot_clears_but_snapshot_survives():
+    with session():
+        metrics.inc("c", 2)
+        metrics.set_gauge("g", 1.0)
+        metrics.observe("h", 0.5, buckets=(1.0,))
+        snap = metrics.snapshot()
+        metrics.reset()
+        assert metrics.snapshot() == {
+            "counters": {}, "gauges": {}, "histograms": {},
+        }
+        # The earlier snapshot is an independent copy.
+        assert snap["counters"] == {"c": 2}
+        assert snap["histograms"]["h"]["count"] == 1
+        # The registry is immediately usable again.
+        metrics.inc("c")
+        assert metrics.get_counter("c") == 1
+
+
+def test_negative_counter_increment_raises_while_active():
+    # Counters are monotone; decrements are a ValueError when the
+    # registry is live ...
+    with session():
+        metrics.inc("c", 2)
+        with pytest.raises(ValueError, match="monotone"):
+            metrics.inc("c", -1)
+        assert metrics.get_counter("c") == 2
+    # ... and stay a silent no-op while instrumentation is disabled,
+    # like every other mutator.
+    metrics.inc("c", -1)
+    assert metrics.get_counter("c") == 0
+
+
+# ---------------------------------------------------------------------
+# Prometheus text export
+# ---------------------------------------------------------------------
+
+
+def test_prometheus_export_counters_gauges_histograms():
+    with session():
+        metrics.inc("ric.samples.generated", 100)
+        metrics.set_gauge("pool.bytes", 2048)
+        metrics.observe("pool.reach.histogram", 1, buckets=(1, 2, 4))
+        metrics.observe("pool.reach.histogram", 3, buckets=(1, 2, 4))
+        metrics.observe("pool.reach.histogram", 9, buckets=(1, 2, 4))
+        text = to_prometheus_text(metrics.snapshot())
+    lines = text.splitlines()
+    assert "ric_samples_generated_total 100" in lines
+    assert "# TYPE ric_samples_generated_total counter" in lines
+    assert "pool_bytes 2048" in lines
+    assert "# TYPE pool_bytes gauge" in lines
+    # Cumulative buckets: le="1" holds 1, le="2" still 1, le="4" 2,
+    # +Inf the full count.
+    assert 'pool_reach_histogram_bucket{le="1"} 1' in lines
+    assert 'pool_reach_histogram_bucket{le="2"} 1' in lines
+    assert 'pool_reach_histogram_bucket{le="4"} 2' in lines
+    assert 'pool_reach_histogram_bucket{le="+Inf"} 3' in lines
+    assert "pool_reach_histogram_sum 13" in lines
+    assert "pool_reach_histogram_count 3" in lines
+    assert text.endswith("\n")
+
+
+def test_prometheus_export_help_text_comes_from_catalog():
+    snap = {"counters": {"ric.samples.generated": 7},
+            "gauges": {}, "histograms": {}}
+    text = to_prometheus_text(snap)
+    assert (
+        f"# HELP ric_samples_generated_total "
+        f"{CATALOG['ric.samples.generated']}" in text
+    )
+    # Uncatalogued names export without a HELP line but still render.
+    text = to_prometheus_text(
+        {"counters": {"adhoc.name": 1}, "gauges": {}, "histograms": {}}
+    )
+    assert "# HELP" not in text
+    assert "adhoc_name_total 1" in text
+
+
+def test_prometheus_export_empty_snapshot_is_empty_string():
+    assert to_prometheus_text(
+        {"counters": {}, "gauges": {}, "histograms": {}}
+    ) == ""
