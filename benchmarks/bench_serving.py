@@ -1,0 +1,213 @@
+"""Load benchmark — the always-on shard server under concurrent fire.
+
+Two phases against real HTTP (stdlib client threads, one socket per
+simulated client):
+
+1. **Fault-free**: hundreds of concurrent clients across a handful of
+   distinct ``(budget, solver)`` queries — exercising warm-shard reuse,
+   request batching and the per-version solve cache — recording the
+   golden deterministic fields per query and the latency distribution.
+2. **One worker kill**: a fresh server whose first sampler batch
+   hard-kills its worker process mid-request. The acceptance floor:
+   zero dropped requests (every client gets a 200) and every response's
+   deterministic fields (``seeds``, ``objective``, ``num_samples``)
+   byte-identical to the fault-free phase.
+
+p50/p95/p99 latencies and request counters land in a run manifest next
+to the metrics artifact (``bench_serving.manifest.json`` under the
+pytest tmp dir, printed at the end).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+from conftest import SCALE, emit
+
+from repro import obs
+from repro.communities.structure import Community, CommunityStructure
+from repro.experiments.reporting import ascii_table
+from repro.graph.generators import planted_partition_graph
+from repro.graph.weights import assign_weighted_cascade
+from repro.serving import ScenarioSpec, ShardApp, ShardStore, start_http_server
+from repro.utils.faults import Fault, FaultInjector
+from repro.utils.retry import RetryPolicy
+
+CLIENTS = max(200, int(250 * SCALE))
+POOL_SIZE = max(96, int(192 * SCALE))
+WORKERS = 2
+QUERIES = ({"budget": 4}, {"budget": 8}, {"budget": 4, "solver": "GreedyC"})
+RETRY = RetryPolicy(max_attempts=3, base_delay=0.0, jitter=0.0)
+
+
+def _instance():
+    graph, blocks = planted_partition_graph(
+        [10] * 10, p_in=0.4, p_out=0.02, directed=True, seed=17
+    )
+    assign_weighted_cascade(graph)
+    communities = CommunityStructure(
+        [
+            Community(members=tuple(b), threshold=2, benefit=float(len(b)))
+            for b in blocks
+        ]
+    )
+    return graph.freeze(), communities
+
+
+def _post(port: int, payload: dict):
+    request = urllib.request.Request(
+        f"http://127.0.0.1:{port}/solve",
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=300) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+def _run_phase(instance, injector):
+    """Fire CLIENTS concurrent requests; returns (responses, latencies,
+    app counters)."""
+    spec = ScenarioSpec(
+        name="load", dataset="facebook", seed=99, pool_size=POOL_SIZE
+    )
+    store = ShardStore(
+        {spec.name: spec},
+        instances={spec.name: instance},
+        workers=WORKERS,
+        round_size=POOL_SIZE,
+        retry=RETRY,
+        fault_injector=injector,
+    )
+    app = ShardApp(store)
+    server = start_http_server(app)
+    port = server.server_address[1]
+    responses = [None] * CLIENTS
+    latencies = [None] * CLIENTS
+
+    def client(i: int) -> None:
+        payload = dict(QUERIES[i % len(QUERIES)], scenario="load")
+        began = time.perf_counter()
+        responses[i] = _post(port, payload)
+        latencies[i] = time.perf_counter() - began
+
+    try:
+        threads = [
+            threading.Thread(target=client, args=(i,)) for i in range(CLIENTS)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=600)
+        counters = dict(app.requests)
+        counters.update(store.counters)
+    finally:
+        server.shutdown()
+        server.server_close()
+        app.close()
+    return responses, latencies, counters
+
+
+def _percentile(sorted_values, q: float) -> float:
+    index = min(len(sorted_values) - 1, int(q * len(sorted_values)))
+    return sorted_values[index]
+
+
+def _golden_by_query(responses):
+    golden = {}
+    for i, (status, body) in enumerate(responses):
+        assert status == 200, f"client {i} got {status}: {body}"
+        key = (body["budget"], body["solver"])
+        fields = (body["seeds"], body["objective"], body["num_samples"])
+        assert golden.setdefault(key, fields) == fields
+    return golden
+
+
+def test_serving_load(benchmark, tmp_path):
+    instance = _instance()
+    metrics_path = str(tmp_path / "bench_serving.metrics.jsonl")
+
+    def run():
+        with obs.session(metrics_out=metrics_path) as recorder:
+            clean = _run_phase(instance, injector=None)
+            injector = FaultInjector(
+                # First batch of the shard's first merge round kills its
+                # worker process; the re-dispatch must be invisible.
+                [Fault.kill_on("generate_batch", start=0, attempt=0)]
+            )
+            killed = _run_phase(instance, injector)
+        return clean, killed, recorder.metrics
+
+    (clean, killed, metrics_snapshot) = benchmark.pedantic(run, rounds=1)
+
+    clean_golden = _golden_by_query(clean[0])  # also: zero non-200s
+    killed_golden = _golden_by_query(killed[0])
+    assert killed_golden == clean_golden  # byte-identical across the kill
+    assert all(latency is not None for latency in killed[1])  # zero drops
+
+    rows = []
+    percentiles = {}
+    for label, (_, latencies, counters) in (
+        ("fault-free", clean),
+        ("1 worker kill", killed),
+    ):
+        ordered = sorted(latencies)
+        p50, p95, p99 = (
+            _percentile(ordered, 0.50),
+            _percentile(ordered, 0.95),
+            _percentile(ordered, 0.99),
+        )
+        percentiles[label] = {"p50": p50, "p95": p95, "p99": p99}
+        rows.append(
+            (
+                label,
+                counters["total"],
+                counters["batched"],
+                counters["failed"],
+                f"{p50 * 1000:.1f}",
+                f"{p95 * 1000:.1f}",
+                f"{p99 * 1000:.1f}",
+            )
+        )
+
+    manifest = obs.build_manifest(
+        "bench_serving",
+        config={
+            "clients": CLIENTS,
+            "pool_size": POOL_SIZE,
+            "workers": WORKERS,
+            "queries": list(QUERIES),
+            "latency_seconds": percentiles,
+        },
+        seeds={"seed": 99},
+        metrics_snapshot=metrics_snapshot,
+        artifacts={"metrics": metrics_path},
+    )
+    manifest_path = obs.write_manifest(
+        manifest, obs.manifest_path_for(metrics_path)
+    )
+
+    emit(
+        f"shard server under load ({CLIENTS} clients x 2 phases, "
+        f"{WORKERS} workers, pool={POOL_SIZE})",
+        ascii_table(
+            [
+                "phase",
+                "requests",
+                "batched",
+                "failed",
+                "p50 (ms)",
+                "p95 (ms)",
+                "p99 (ms)",
+            ],
+            rows,
+        )
+        + f"\nmanifest: {manifest_path}",
+    )

@@ -8,6 +8,7 @@ Four subcommands cover the common workflows::
     python -m repro figure fig5 --dataset facebook
     python -m repro bench --record   # kernel perf trajectory
     python -m repro report run.manifest.json   # render a run manifest
+    python -m repro serve --datasets facebook --port 8765
 
 ``solve`` and ``compare`` accept ``--trace-out``/``--metrics-out`` to
 record structured spans/metrics plus a run manifest through
@@ -263,6 +264,64 @@ def _build_parser() -> argparse.ArgumentParser:
             "produced by --trace-out/--metrics-out"
         ),
     )
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the always-on shard server (see docs/serving.md)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8765)
+    serve.add_argument(
+        "--datasets",
+        default="facebook",
+        help="comma-separated datasets to serve, one scenario each",
+    )
+    serve.add_argument("--scale", type=float, default=0.2)
+    serve.add_argument(
+        "--threshold", default="bounded", choices=["bounded", "fractional"]
+    )
+    serve.add_argument("--size-cap", type=int, default=8)
+    serve.add_argument("--model", default="ic", choices=["ic", "lt"])
+    serve.add_argument("--seed", type=int, default=7)
+    serve.add_argument(
+        "--pool-size",
+        type=int,
+        default=600,
+        help="warm sample-pool target per shard",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="sampler worker processes per shard (default: all cores)",
+    )
+    serve.add_argument(
+        "--round-size",
+        type=int,
+        default=256,
+        help="samples per synchronous merge round (bounds shard memory)",
+    )
+    serve.add_argument(
+        "--memory-budget-mb",
+        type=float,
+        default=None,
+        help=(
+            "evict cold shards once the summed pool footprint exceeds "
+            "this many MiB (default: no eviction)"
+        ),
+    )
+    serve.add_argument(
+        "--solver",
+        default="UBG",
+        choices=["UBG", "MAF", "BT", "MB", "GreedyC"],
+        help="default solver for requests that do not name one",
+    )
+    serve.add_argument(
+        "--warm",
+        action="store_true",
+        help="build and warm every scenario's shard before serving",
+    )
+    _add_observability_flags(serve)
 
     figure = sub.add_parser("figure", help="regenerate a paper figure")
     figure.add_argument(
@@ -603,6 +662,50 @@ def _cmd_report(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from repro.serving import (
+        ShardApp,
+        ShardStore,
+        default_scenarios,
+        run_server,
+    )
+
+    names = [d.strip() for d in args.datasets.split(",") if d.strip()]
+    scenarios = default_scenarios(
+        names,
+        scale=args.scale,
+        threshold=args.threshold,
+        size_cap=args.size_cap,
+        model=args.model,
+        seed=args.seed,
+        pool_size=args.pool_size,
+    )
+    budget = (
+        int(args.memory_budget_mb * 1024 * 1024)
+        if args.memory_budget_mb
+        else None
+    )
+    store = ShardStore(
+        scenarios,
+        workers=args.workers,
+        round_size=args.round_size,
+        memory_budget_bytes=budget,
+    )
+    app = ShardApp(
+        store, default_solver=args.solver, trace_path=args.trace_out
+    )
+    try:
+        if args.warm:
+            for name in store.scenario_names():
+                shard = store.get(name)
+                with shard.lock:
+                    shard.warm()
+                print(f"warmed {name}: {len(shard.pool)} samples")
+        return run_server(app, args.host, args.port)
+    finally:
+        app.close()
+
+
 def _cmd_figure(args) -> int:
     config = ExperimentConfig(
         dataset=args.dataset,
@@ -672,6 +775,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_bench(args)
         if args.command == "report":
             return _cmd_report(args)
+        if args.command == "serve":
+            return _with_observability(
+                args, "serve", lambda extras: _cmd_serve(args)
+            )
         if args.command == "figure":
             return _cmd_figure(args)
     except ReproError as exc:

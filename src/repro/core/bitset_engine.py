@@ -59,9 +59,17 @@ class BitsetCoverage:
         self._influenced = 0
         self._fractional = 0.0
         self._synced_samples = len(samples)
+        self._resyncing = False
 
     def _check_sync(self) -> None:
         """Fail fast when the pool grew since this engine last synced."""
+        if self._resyncing:
+            raise SolverError(
+                "bitset engine is mid-resync() (another thread is "
+                "rebuilding it); concurrent marginal/accessor calls "
+                "would read half-built state — serialize engine access "
+                "(see the locking contract in docs/serving.md)"
+            )
         if len(self.pool.samples) != self._synced_samples:
             raise SolverError(
                 f"pool grew from {self._synced_samples} to "
@@ -74,29 +82,44 @@ class BitsetCoverage:
 
         Packs member masks for the new sample indices and replays the
         current seed set against the new suffix only.
+
+        Not thread-safe: a concurrent :meth:`resync` (or any marginal /
+        accessor call while one is in progress) raises ``SolverError``
+        instead of corrupting state silently — callers must serialize
+        engine access (see docs/serving.md).
         """
+        if self._resyncing:
+            raise SolverError(
+                "BitsetCoverage.resync() re-entered while another "
+                "resync() is in progress; serialize engine access "
+                "(see the locking contract in docs/serving.md)"
+            )
         samples = self.pool.samples
         old = self._synced_samples
         if len(samples) == old:
             return
         metrics.inc("coverage.resyncs")
-        grown = len(samples) - old
-        self._thresholds.extend(s.threshold for s in samples[old:])
-        self._covered_mask.extend([0] * grown)
-        self._covered_count.extend([0] * grown)
-        for offset, sample in enumerate(samples[old:]):
-            sample_idx = old + offset
-            for member_idx, reach in enumerate(sample.reach_sets):
-                bit = 1 << member_idx
-                for node in reach:
-                    masks = self._node_masks.setdefault(node, {})
-                    masks[sample_idx] = masks.get(sample_idx, 0) | bit
-        self._synced_samples = len(samples)
-        for node in self.seeds:
-            for sample_idx, mask in self._node_masks.get(node, {}).items():
-                if sample_idx < old:
-                    continue
-                self._apply_mask(sample_idx, mask)
+        self._resyncing = True
+        try:
+            grown = len(samples) - old
+            self._thresholds.extend(s.threshold for s in samples[old:])
+            self._covered_mask.extend([0] * grown)
+            self._covered_count.extend([0] * grown)
+            for offset, sample in enumerate(samples[old:]):
+                sample_idx = old + offset
+                for member_idx, reach in enumerate(sample.reach_sets):
+                    bit = 1 << member_idx
+                    for node in reach:
+                        masks = self._node_masks.setdefault(node, {})
+                        masks[sample_idx] = masks.get(sample_idx, 0) | bit
+            for node in self.seeds:
+                for sample_idx, mask in self._node_masks.get(node, {}).items():
+                    if sample_idx < old:
+                        continue
+                    self._apply_mask(sample_idx, mask)
+            self._synced_samples = len(samples)
+        finally:
+            self._resyncing = False
 
     # -- accessors ------------------------------------------------------
 

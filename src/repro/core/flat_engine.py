@@ -68,6 +68,7 @@ class FlatCoverage:
             pool.compact()
         self.seeds: List[int] = []
         self._seed_set = set()
+        self._resyncing = False
         self._compile()
 
     def _compile(self) -> None:
@@ -106,6 +107,13 @@ class FlatCoverage:
 
     def _check_sync(self) -> None:
         """Fail fast when the pool grew since this engine last synced."""
+        if self._resyncing:
+            raise SolverError(
+                "flat engine is mid-resync() (another thread is "
+                "recompiling it); concurrent marginal/accessor calls "
+                "would read half-built arrays — serialize engine access "
+                "(see the locking contract in docs/serving.md)"
+            )
         if len(self.pool.samples) != self._synced_samples:
             raise SolverError(
                 f"pool grew from {self._synced_samples} to "
@@ -122,12 +130,27 @@ class FlatCoverage:
         the same order as building the engine fresh — IMCAF doubles the
         pool per stage, so the recompile cost is within a constant
         factor of the incremental path and keeps the layout contiguous.
+
+        Not thread-safe: a concurrent :meth:`resync` (or any marginal /
+        accessor call while one is in progress) raises ``SolverError``
+        instead of returning answers from half-compiled arrays —
+        callers must serialize engine access (see docs/serving.md).
         """
+        if self._resyncing:
+            raise SolverError(
+                "FlatCoverage.resync() re-entered while another "
+                "resync() is in progress; serialize engine access "
+                "(see the locking contract in docs/serving.md)"
+            )
         if len(self.pool.samples) == self._synced_samples:
             return
         metrics.inc("coverage.resyncs")
-        self.pool.compact()
-        self._compile()
+        self._resyncing = True
+        try:
+            self.pool.compact()
+            self._compile()
+        finally:
+            self._resyncing = False
 
     # -- accessors ------------------------------------------------------
 

@@ -41,9 +41,17 @@ class CoverageState:
         self._influenced = 0
         self._fractional = 0.0
         self._synced_samples = len(pool.samples)
+        self._resyncing = False
 
     def _check_sync(self) -> None:
         """Fail fast when the pool grew since this state last synced."""
+        if self._resyncing:
+            raise SolverError(
+                "coverage state is mid-resync() (another thread is "
+                "rebuilding it); concurrent marginal/accessor calls "
+                "would read half-built state — serialize engine access "
+                "(see the locking contract in docs/serving.md)"
+            )
         if len(self.pool.samples) != self._synced_samples:
             raise SolverError(
                 f"pool grew from {self._synced_samples} to "
@@ -57,28 +65,43 @@ class CoverageState:
         Extends the per-sample bookkeeping for the new indices and
         replays the current seed set's coverage of the *new* samples
         only — O(total coverage of the seeds in the new suffix).
+
+        Not thread-safe: a concurrent :meth:`resync` (or any marginal /
+        accessor call while one is in progress) raises ``SolverError``
+        instead of corrupting state silently — callers must serialize
+        engine access (see docs/serving.md).
         """
+        if self._resyncing:
+            raise SolverError(
+                "CoverageState.resync() re-entered while another "
+                "resync() is in progress; serialize engine access "
+                "(see the locking contract in docs/serving.md)"
+            )
         samples = self.pool.samples
         old = self._synced_samples
         if len(samples) == old:
             return
         metrics.inc("coverage.resyncs")
-        self._covered.extend(set() for _ in range(len(samples) - old))
-        self._synced_samples = len(samples)
-        for node in self.seeds:
-            for sample_idx, member_idx in self.pool.coverage_of(node):
-                if sample_idx < old:
-                    continue
-                covered = self._covered[sample_idx]
-                if member_idx in covered:
-                    continue
-                threshold = samples[sample_idx].threshold
-                before = len(covered)
-                covered.add(member_idx)
-                if before < threshold:
-                    self._fractional += 1.0 / threshold
-                    if before + 1 == threshold:
-                        self._influenced += 1
+        self._resyncing = True
+        try:
+            self._covered.extend(set() for _ in range(len(samples) - old))
+            for node in self.seeds:
+                for sample_idx, member_idx in self.pool.coverage_of(node):
+                    if sample_idx < old:
+                        continue
+                    covered = self._covered[sample_idx]
+                    if member_idx in covered:
+                        continue
+                    threshold = samples[sample_idx].threshold
+                    before = len(covered)
+                    covered.add(member_idx)
+                    if before < threshold:
+                        self._fractional += 1.0 / threshold
+                        if before + 1 == threshold:
+                            self._influenced += 1
+            self._synced_samples = len(samples)
+        finally:
+            self._resyncing = False
 
     # ------------------------------------------------------------------
     # Current objective values

@@ -82,6 +82,17 @@ class ExperimentError(ReproError):
     """Raised for malformed experiment configurations."""
 
 
+class ServingError(ReproError):
+    """Raised for invalid requests to the :mod:`repro.serving` layer.
+
+    Examples: an unknown scenario name, a malformed ``/solve`` payload
+    (non-positive budget, unknown solver), or operations on a store
+    that has been shut down. The HTTP front end maps this (and every
+    other :class:`ReproError`) to a ``400`` response; unexpected
+    exceptions become ``500`` so no connection is ever dropped.
+    """
+
+
 class ObservabilityError(ReproError):
     """Raised for misuse of the :mod:`repro.obs` instrumentation layer.
 

@@ -88,7 +88,14 @@ class CheckpointStore:
 
     def _load(self) -> None:
         with open(self.path, "r", encoding="utf-8") as fh:
-            lines = fh.read().splitlines()
+            text = fh.read()
+        lines = text.splitlines()
+        if lines and not text.endswith("\n"):
+            # Unterminated tail: either a crash mid-write or a live
+            # writer's partial flush racing this read. Skip it without
+            # parsing — a partial line must never be promoted to a
+            # record just because its prefix happens to parse.
+            lines.pop()
         for lineno, line in enumerate(lines, start=1):
             if not line.strip():
                 continue

@@ -52,6 +52,12 @@ CATALOG: Dict[str, str] = {
     "estimator.stages": "stop-stage ĉ(S) evaluations observed",
     "estimator.trials.observed": "Algorithm 6 (Dagum) trial draws observed",
     "estimator.adaptive.stops": "adaptive early stops (CI criterion met)",
+    "serving.requests.total": "solve requests answered by the shard server",
+    "serving.requests.batched": "solve requests coalesced onto another's solve",
+    "serving.requests.failed": "solve requests answered with an error",
+    "serving.shards.hits": "shard lookups served from a warm shard",
+    "serving.shards.misses": "shard lookups that built (or rebuilt) a shard",
+    "serving.shards.evictions": "cold shards evicted under the byte budget",
     # gauges
     "pool.coverage_entries": "inverted-index (sample, member) pairs at last compact()",
     "pool.bytes": "approximate pool memory footprint in bytes",
@@ -60,9 +66,12 @@ CATALOG: Dict[str, str] = {
     "estimator.ci.halfwidth": "latest CI halfwidth of ĉ(S) (benefit units)",
     "estimator.ci.width": "latest relative CI width (halfwidth / ĉ)",
     "estimator.samples.used": "pool samples behind the latest ĉ(S)",
+    "serving.shards.active": "warm shards currently resident",
+    "serving.shards.bytes": "summed resident shard footprint in bytes",
     # histograms
     "pool.reach.histogram": "reach-set size distribution",
     "pool.sources.histogram": "samples-per-source-community distribution",
+    "serving.request.seconds": "shard-server solve request latency",
 }
 
 

@@ -89,12 +89,23 @@ def write_text(path: str, text: str) -> str:
 def read_jsonl(path: str) -> list:
     """Read a JSONL file back into a list of records.
 
-    A malformed *final* line is tolerated (crash-mid-write signature,
-    same convention as the checkpoint store) and dropped; malformed
-    earlier lines raise ``json.JSONDecodeError``.
+    Safe against a *live* :class:`JsonlSink` writer appending to the
+    same file (a server reading its own sinks for ``/status``): a final
+    line with no terminating newline is an in-flight partial flush and
+    is skipped **without being parsed** — a flush boundary can land
+    anywhere inside a record, and a partial line must never be promoted
+    to a record just because its prefix happens to parse. A terminated
+    but malformed final line is also tolerated (crash-mid-write
+    signature, same convention as the checkpoint store) and dropped;
+    malformed earlier lines raise ``json.JSONDecodeError``.
     """
     with open(path, "r", encoding="utf-8") as handle:
-        lines = handle.read().splitlines()
+        text = handle.read()
+    lines = text.splitlines()
+    if lines and not text.endswith("\n"):
+        # In-flight tail: the writer has not finished this line. Do not
+        # attempt to parse it — skip it; a later read sees it complete.
+        lines.pop()
     records = []
     for lineno, line in enumerate(lines, start=1):
         if not line.strip():

@@ -37,6 +37,17 @@ class RICSamplePool:
         self._coverage: Dict[int, List[Tuple[int, int]]] = {}
         self._touch_counts: Dict[int, int] = {}
         self._community_counts: Dict[int, int] = {}
+        # Persistent intern table (reach-set value -> canonical object)
+        # plus a watermark of how many samples compact() has already
+        # processed. Together they make the compact -> add -> compact
+        # top-up cycle O(new samples) instead of O(pool) per pass, and
+        # guarantee a reach set is interned exactly once: the canonical
+        # representative chosen on first sight never changes, so a
+        # re-compact can never re-point references ("double-intern").
+        self._intern: Dict[FrozenSet[int], FrozenSet[int]] = {}
+        self._interned_through = 0
+        self._reach_sets_total = 0
+        self._pending_rewrites = 0
 
     def __len__(self) -> int:
         return len(self.samples)
@@ -54,6 +65,12 @@ class RICSamplePool:
         entry back into a list (re-run :meth:`compact` to re-seal).
         """
         index = len(self.samples)
+        if self._interned_through:
+            # The pool has been compacted at least once: intern the new
+            # sample's reach sets eagerly against the persistent table,
+            # so a server's compact -> add -> compact top-up loop never
+            # accumulates duplicate frozensets between seals.
+            sample = self._intern_sample(sample)
         self.samples.append(sample)
         coverage = self._coverage
         touched: Set[int] = set()
@@ -69,6 +86,7 @@ class RICSamplePool:
                 else:
                     entry.append((index, member_idx))
                 touched.add(node)
+        self._reach_sets_total += len(sample.reach_sets)
         for node in touched:
             self._touch_counts[node] = self._touch_counts.get(node, 0) + 1
         self._community_counts[sample.community_index] = (
@@ -108,6 +126,29 @@ class RICSamplePool:
         """
         return self._coverage.get(node, ())
 
+    def _intern_sample(self, sample: RICSample) -> RICSample:
+        """Rewrite ``sample``'s reach sets through the intern table.
+
+        Returns the same object (fields rewritten in place when any
+        reference changed); counts rewrites in ``_pending_rewrites`` so
+        the next :meth:`compact` can report them.
+        """
+        intern = self._intern
+        new_sets = []
+        changed = False
+        for reach in sample.reach_sets:
+            kept = intern.setdefault(reach, reach)
+            if kept is not reach:
+                changed = True
+                self._pending_rewrites += 1
+            new_sets.append(kept)
+        if changed:
+            # RICSample is a frozen dataclass; rewriting the field
+            # through object.__setattr__ preserves value equality
+            # while sharing the canonical frozensets.
+            object.__setattr__(sample, "reach_sets", tuple(new_sets))
+        return sample
+
     def compact(self) -> Dict[str, int]:
         """Intern duplicate reach sets and seal the inverted index.
 
@@ -127,28 +168,22 @@ class RICSamplePool:
           (:meth:`coverage_of` documents the aliasing hazard on the
           unsealed path).
 
+        The intern table persists across calls and samples already
+        processed are watermarked, so the serving top-up cycle
+        ``compact() -> add() -> compact()`` costs O(new samples + nodes)
+        per pass, not O(pool): canonical representatives never change
+        between passes, samples appended after the first seal are
+        interned eagerly by :meth:`add`, and a no-op re-compact reports
+        ``interned_duplicates == 0``.
+
         Returns a stats dict: ``reach_sets`` (total), ``unique_reach_sets``,
         ``interned_duplicates`` (references rewritten to a canonical
-        object this call), and ``coverage_entries``.
+        object since the previous seal), and ``coverage_entries``.
         """
-        canonical: Dict[FrozenSet[int], FrozenSet[int]] = {}
-        total = 0
-        rewritten = 0
-        for sample in self.samples:
-            new_sets = []
-            changed = False
-            for reach in sample.reach_sets:
-                total += 1
-                kept = canonical.setdefault(reach, reach)
-                if kept is not reach:
-                    changed = True
-                    rewritten += 1
-                new_sets.append(kept)
-            if changed:
-                # RICSample is a frozen dataclass; rewriting the field
-                # through object.__setattr__ preserves value equality
-                # while sharing the canonical frozensets.
-                object.__setattr__(sample, "reach_sets", tuple(new_sets))
+        for sample in self.samples[self._interned_through:]:
+            self._intern_sample(sample)
+        self._interned_through = len(self.samples)
+        rewritten, self._pending_rewrites = self._pending_rewrites, 0
         entries = 0
         for node, pairs in self._coverage.items():
             entries += len(pairs)
@@ -157,8 +192,8 @@ class RICSamplePool:
         metrics.inc("pool.compactions")
         metrics.set_gauge("pool.coverage_entries", entries)
         return {
-            "reach_sets": total,
-            "unique_reach_sets": len(canonical),
+            "reach_sets": self._reach_sets_total,
+            "unique_reach_sets": len(self._intern),
             "interned_duplicates": rewritten,
             "coverage_entries": entries,
         }

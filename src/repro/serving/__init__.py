@@ -1,0 +1,39 @@
+"""Always-on IMC serving layer.
+
+A long-lived daemon that keeps *warm*, versioned RIC sample-pool shards
+per (graph, community-scenario) key and answers seed-selection queries
+over HTTP without re-sampling from scratch on every request:
+
+- :mod:`repro.serving.scenarios` — frozen scenario specs (dataset,
+  scale, threshold policy, model, seed, warm pool size) and instance
+  construction;
+- :mod:`repro.serving.shards` — :class:`WarmShard` (one pool + sampler
+  + solve cache behind a lock) and :class:`ShardStore` (registry with
+  hit/miss accounting and LRU eviction under a byte budget);
+- :mod:`repro.serving.batching` — :class:`RequestBatcher`, which
+  coalesces concurrent identical requests onto one solve;
+- :mod:`repro.serving.server` — the :class:`ShardApp` request logic and
+  the stdlib ``ThreadingHTTPServer`` front end
+  (:func:`start_http_server` / :func:`run_server`).
+
+See ``docs/serving.md`` for endpoints, the shard lifecycle, the
+eviction policy and the locking contract.
+"""
+
+from repro.serving.batching import RequestBatcher
+from repro.serving.scenarios import ScenarioSpec, build_instance, default_scenarios
+from repro.serving.server import ShardApp, ShardHTTPServer, run_server, start_http_server
+from repro.serving.shards import ShardStore, WarmShard
+
+__all__ = [
+    "RequestBatcher",
+    "ScenarioSpec",
+    "ShardApp",
+    "ShardHTTPServer",
+    "ShardStore",
+    "WarmShard",
+    "build_instance",
+    "default_scenarios",
+    "run_server",
+    "start_http_server",
+]

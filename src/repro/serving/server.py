@@ -1,0 +1,289 @@
+"""HTTP front end: the always-on shard server.
+
+Stdlib only — ``http.server.ThreadingHTTPServer`` with one handler
+thread per connection. The request logic lives in :class:`ShardApp`
+(plain methods over dicts) so tests can drive it without sockets; the
+handler is a thin JSON adapter.
+
+Endpoints:
+
+- ``GET /healthz`` — liveness probe (``{"status": "ok"}``).
+- ``GET /status`` — scenarios, per-shard state, hit/miss/eviction and
+  request counters, uptime; when the server was started inside an
+  instrumentation session with a trace sink, the tail of its *own*
+  live trace file (read back torn-tail-safely via
+  :func:`~repro.obs.sinks.read_jsonl`).
+- ``GET /metrics`` — Prometheus text exposition of the process
+  registry (empty outside an instrumentation session).
+- ``POST /solve`` — body ``{"scenario", "budget", "solver"?,
+  "ci_width"?}``; concurrent identical requests are batched onto one
+  solve. Deterministic fields (``seeds``, ``objective``,
+  ``num_samples``) depend only on the scenario spec and the query.
+- ``POST /shutdown`` — graceful stop: responds, then stops accepting
+  connections and closes every shard.
+
+Error mapping: a :class:`~repro.errors.ServingError` on an unknown
+scenario is ``404``; any other :class:`~repro.errors.ReproError` is
+``400``; unexpected exceptions are ``500`` — a request is answered in
+all cases, never dropped.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, Optional, Tuple
+
+from repro.errors import ReproError, ServingError
+from repro.obs import metrics
+from repro.obs.metrics import to_prometheus_text
+from repro.obs.sinks import read_jsonl
+from repro.serving.batching import RequestBatcher
+from repro.serving.shards import ShardStore
+
+
+class ShardApp:
+    """Transport-independent request logic over a :class:`ShardStore`."""
+
+    def __init__(
+        self,
+        store: ShardStore,
+        *,
+        default_solver: str = "UBG",
+        trace_path: Optional[str] = None,
+    ) -> None:
+        self.store = store
+        self.default_solver = default_solver
+        #: Live trace sink to read back for ``/status`` (optional).
+        self.trace_path = trace_path
+        self.batcher = RequestBatcher()
+        self.started = time.monotonic()
+        self._req_lock = threading.Lock()
+        self.requests = {"total": 0, "batched": 0, "failed": 0}
+
+    # -- request counting ----------------------------------------------
+
+    def _count(self, field: str) -> None:
+        with self._req_lock:
+            self.requests[field] += 1
+
+    # -- endpoints ------------------------------------------------------
+
+    def healthz(self) -> Dict[str, str]:
+        """Liveness payload."""
+        return {"status": "ok"}
+
+    def status(self) -> Dict[str, object]:
+        """Full server snapshot (shards, counters, live trace tail)."""
+        payload = self.store.status()
+        with self._req_lock:
+            payload["requests"] = dict(self.requests)
+        payload["in_flight"] = self.batcher.in_flight()
+        payload["uptime_seconds"] = time.monotonic() - self.started
+        if self.trace_path:
+            try:
+                spans = read_jsonl(self.trace_path)
+            except OSError:
+                spans = []
+            payload["trace_tail"] = spans[-5:]
+        return payload
+
+    def prometheus(self) -> str:
+        """Prometheus text exposition of the metrics registry."""
+        return to_prometheus_text(metrics.snapshot())
+
+    def solve(self, payload: Dict) -> Dict:
+        """Answer one ``/solve`` request, batching concurrent twins."""
+        began = time.perf_counter()
+        try:
+            scenario, k, solver, ci_width = self._parse_solve(payload)
+            key = (scenario, k, solver, ci_width)
+            result, leader = self.batcher.run(
+                key, lambda: self._compute(scenario, k, solver, ci_width)
+            )
+        except BaseException:
+            self._count("failed")
+            metrics.inc("serving.requests.failed")
+            raise
+        finally:
+            self._count("total")
+            metrics.inc("serving.requests.total")
+            metrics.observe(
+                "serving.request.seconds", time.perf_counter() - began
+            )
+        if not leader:
+            self._count("batched")
+            metrics.inc("serving.requests.batched")
+        response = dict(result)
+        response["batched"] = not leader
+        return response
+
+    def _parse_solve(
+        self, payload: Dict
+    ) -> Tuple[str, int, str, Optional[float]]:
+        if not isinstance(payload, dict):
+            raise ServingError("solve payload must be a JSON object")
+        scenario = payload.get("scenario")
+        if not isinstance(scenario, str) or not scenario:
+            raise ServingError("solve payload needs a 'scenario' string")
+        budget = payload.get("budget")
+        if not isinstance(budget, int) or isinstance(budget, bool):
+            raise ServingError(
+                f"solve payload needs an integer 'budget', got "
+                f"{budget!r}"
+            )
+        solver = payload.get("solver", self.default_solver)
+        if not isinstance(solver, str):
+            raise ServingError(f"'solver' must be a string, got {solver!r}")
+        ci_width = payload.get("ci_width")
+        if ci_width is not None:
+            if not isinstance(ci_width, (int, float)) or ci_width <= 0:
+                raise ServingError(
+                    f"'ci_width' must be a positive number, got "
+                    f"{ci_width!r}"
+                )
+            ci_width = float(ci_width)
+        return scenario, budget, solver, ci_width
+
+    def _compute(
+        self, scenario: str, k: int, solver: str, ci_width: Optional[float]
+    ) -> Dict:
+        shard = self.store.get(scenario)
+        with shard.lock:
+            shard.touch()
+            shard.warm()
+            response, cache_hit = shard.solve(
+                k, solver_name=solver, ci_width=ci_width
+            )
+        # Evict *after* releasing the shard lock; the just-used shard
+        # is protected so a tight budget cannot thrash it.
+        self.store.evict_to_budget(protect=scenario)
+        response = dict(response)
+        response["cache_hit"] = cache_hit
+        return response
+
+    def close(self) -> None:
+        """Shut the underlying store down."""
+        self.store.close()
+
+
+class ShardHTTPServer(ThreadingHTTPServer):
+    """Threaded HTTP server bound to a :class:`ShardApp`."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+    #: Listen backlog. The stdlib default (5) resets connections under
+    #: a burst of hundreds of simultaneous clients before accept() can
+    #: drain them; the load floor needs the kernel to queue the burst.
+    request_queue_size = 1024
+
+    def __init__(self, address: Tuple[str, int], app: ShardApp) -> None:
+        super().__init__(address, _Handler)
+        self.app = app
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """JSON adapter between HTTP and :class:`ShardApp`."""
+
+    server_version = "repro-imc-serve/1.0"
+    protocol_version = "HTTP/1.1"
+
+    def log_message(self, *args) -> None:  # noqa: D102 - silence stderr
+        pass
+
+    @property
+    def app(self) -> ShardApp:
+        return self.server.app  # type: ignore[attr-defined]
+
+    def _send(self, code: int, body: bytes, content_type: str) -> None:
+        self.send_response(code)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_json(self, code: int, payload: Dict) -> None:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        self._send(code, body, "application/json")
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        try:
+            if self.path == "/healthz":
+                self._send_json(200, self.app.healthz())
+            elif self.path == "/status":
+                self._send_json(200, self.app.status())
+            elif self.path == "/metrics":
+                self._send(
+                    200,
+                    self.app.prometheus().encode("utf-8"),
+                    "text/plain; version=0.0.4",
+                )
+            else:
+                self._send_json(404, {"error": f"no such path {self.path}"})
+        except Exception as exc:  # noqa: BLE001 - answer, never drop
+            self._send_json(500, {"error": str(exc)})
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        try:
+            if self.path == "/solve":
+                self._send_json(200, self.app.solve(self._read_body()))
+            elif self.path == "/shutdown":
+                self._send_json(200, {"status": "shutting down"})
+                threading.Thread(
+                    target=self.server.shutdown, daemon=True
+                ).start()
+            else:
+                self._send_json(404, {"error": f"no such path {self.path}"})
+        except ServingError as exc:
+            code = 404 if "unknown scenario" in str(exc) else 400
+            self._send_json(code, {"error": str(exc)})
+        except ReproError as exc:
+            self._send_json(400, {"error": str(exc)})
+        except Exception as exc:  # noqa: BLE001 - answer, never drop
+            self._send_json(500, {"error": str(exc)})
+
+    def _read_body(self) -> Dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            raise ServingError("solve request needs a JSON body")
+        try:
+            return json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ServingError(f"request body is not valid JSON: {exc}")
+
+
+def start_http_server(
+    app: ShardApp, host: str = "127.0.0.1", port: int = 0
+) -> ShardHTTPServer:
+    """Start serving ``app`` on a daemon thread; returns the server.
+
+    ``port=0`` binds an ephemeral port — read the actual one from
+    ``server.server_address[1]``. The caller owns shutdown:
+    ``server.shutdown(); server.server_close(); app.close()``.
+    """
+    server = ShardHTTPServer((host, port), app)
+    thread = threading.Thread(
+        target=server.serve_forever, name="repro-serve", daemon=True
+    )
+    thread.start()
+    server._serve_thread = thread  # type: ignore[attr-defined]
+    return server
+
+
+def run_server(app: ShardApp, host: str, port: int) -> int:
+    """Serve ``app`` until ``/shutdown`` or Ctrl-C; returns exit code."""
+    server = ShardHTTPServer((host, port), app)
+    bound = server.server_address
+    print(f"serving on http://{bound[0]}:{bound[1]} "
+          f"(scenarios: {', '.join(app.store.scenario_names())})")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+        app.close()
+    return 0

@@ -79,6 +79,31 @@ class Deadline:
                 f"(over by {-self.remaining():.3f}s)"
             )
 
+    # -- pickling -------------------------------------------------------
+    #
+    # ``_expires_at`` is an anchor on *this process's* monotonic clock,
+    # whose epoch is unspecified and need not match any other process's
+    # (``time.monotonic`` only promises meaningful differences within
+    # one process). A deadline shipped raw to a freshly spawned shard
+    # worker would therefore measure a different clock and expire
+    # arbitrarily early or late. Pickling ships the *remaining budget*
+    # plus a wall-clock send stamp instead; unpickling re-anchors on the
+    # receiver's monotonic clock, charging the (same-machine) transit
+    # time against the budget. Injected test clocks do not survive the
+    # trip — the re-anchored deadline always runs on ``time.monotonic``.
+
+    def __getstate__(self) -> dict:
+        return {"remaining": self.remaining(), "sent_wall": time.time()}
+
+    def __setstate__(self, state: dict) -> None:
+        transit = max(0.0, time.time() - state["sent_wall"])
+        remaining = state["remaining"]
+        self._clock = time.monotonic
+        if remaining == float("inf"):
+            self._expires_at = float("inf")
+        else:
+            self._expires_at = time.monotonic() + remaining - transit
+
     def __repr__(self) -> str:
         return f"Deadline(remaining={self.remaining():.3f}s)"
 
