@@ -1,0 +1,235 @@
+"""Chaos floor — the whole cluster stack under concurrent fire.
+
+Three replicas behind the rendezvous router, 200+ concurrent clients
+round-robining six distinct queries over three scenarios, two phases
+through :mod:`repro.serving.loadgen`:
+
+1. **Fault-free**: records the golden deterministic answer per query
+   and the clean latency distribution.
+2. **Replica kill**: the same flood, but once an eighth of the requests
+   have completed, the replica *owning the hottest scenario* is
+   SIGKILLed (whole process group — sampler workers included). The
+   floor asserts:
+
+   - **zero client-visible errors** — every request gets a 200, no
+     transport failures (the router fails requests over to the
+     rendezvous successor, which cold-rebuilds the shard
+     byte-identically);
+   - **killed-phase answers byte-identical to the fault-free golden**
+     (volatile ``batched``/``cache_hit`` flags aside);
+   - **restart within the backoff bound** — the supervisor's
+     ``restart_log`` shows the victim respawned no earlier than its
+     policy delay and healthy again within the schedule-plus-startup
+     bound.
+
+p50/p95/p99 for both phases land in a run manifest
+(``bench_cluster.manifest.json`` under the pytest tmp dir).
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import SCALE, emit
+
+from repro import obs
+from repro.communities.structure import Community, CommunityStructure
+from repro.experiments.reporting import ascii_table
+from repro.graph.generators import planted_partition_graph
+from repro.graph.weights import assign_weighted_cascade
+from repro.serving import (
+    ClusterConfig,
+    LoadGenerator,
+    LoadPhase,
+    ScenarioSpec,
+    ServingCluster,
+    assign_replica,
+)
+from repro.utils.retry import RetryPolicy
+
+CLIENTS = max(200, int(250 * SCALE))
+POOL_SIZE = max(96, int(192 * SCALE))
+REPLICAS = 3
+SCENARIOS = ("alpha", "beta", "gamma")
+BUDGETS = (3, 5)
+RESTART_POLICY = RetryPolicy(
+    max_attempts=6, base_delay=0.25, max_delay=10.0, jitter=0.25, seed=0
+)
+STARTUP_TIMEOUT = 120.0
+
+
+def _instance():
+    graph, blocks = planted_partition_graph(
+        [5] * 6, p_in=0.6, p_out=0.03, directed=True, seed=17
+    )
+    assign_weighted_cascade(graph)
+    communities = CommunityStructure(
+        [
+            Community(members=tuple(b), threshold=2, benefit=float(len(b)))
+            for b in blocks
+        ]
+    )
+    return graph.freeze(), communities
+
+
+def _queries():
+    distinct = [
+        {"scenario": scenario, "budget": budget}
+        for scenario in SCENARIOS
+        for budget in BUDGETS
+    ]
+    return [distinct[i % len(distinct)] for i in range(CLIENTS)]
+
+
+def _config(instance) -> ClusterConfig:
+    specs = {
+        name: ScenarioSpec(
+            name=name, dataset="facebook", seed=99, pool_size=POOL_SIZE
+        )
+        for name in SCENARIOS
+    }
+    return ClusterConfig(
+        specs,
+        instances={name: instance for name in SCENARIOS},
+        replicas=REPLICAS,
+        workers=1,
+        round_size=POOL_SIZE,
+        restart_policy=RESTART_POLICY,
+        heartbeat_interval=0.2,
+        heartbeat_timeout=1.0,
+        startup_timeout=STARTUP_TIMEOUT,
+    )
+
+
+def _await_victim_healthy(supervisor, victim: str, bound: float) -> float:
+    """Seconds until the killed replica is healthy again (<= bound)."""
+    began = time.monotonic()
+    deadline = began + bound
+    while time.monotonic() < deadline:
+        health = {
+            endpoint.replica_id: endpoint.healthy
+            for endpoint in supervisor.endpoints()
+        }
+        if health.get(victim):
+            return time.monotonic() - began
+        time.sleep(0.1)
+    raise AssertionError(
+        f"victim {victim} not healthy within {bound:.1f}s: "
+        f"{supervisor.restart_log}"
+    )
+
+
+def test_cluster_load(benchmark, tmp_path):
+    instance = _instance()
+    metrics_path = str(tmp_path / "bench_cluster.metrics.jsonl")
+    queries = _queries()
+
+    def run():
+        with obs.session(metrics_out=metrics_path) as recorder:
+            with ServingCluster(_config(instance)) as cluster:
+                supervisor = cluster.supervisor
+                host, port = cluster.router_address
+                generator = LoadGenerator(host, port)
+                victim = assign_replica(
+                    SCENARIOS[0],
+                    [e.replica_id for e in supervisor.endpoints()],
+                )
+                clean = generator.run_phase(
+                    LoadPhase("fault-free", queries, clients=CLIENTS)
+                )
+                killed = generator.run_phase(
+                    LoadPhase(
+                        "replica-kill",
+                        queries,
+                        clients=CLIENTS,
+                        chaos=lambda: supervisor.kill_replica(victim),
+                        chaos_after=CLIENTS // 8,
+                    )
+                )
+                # The phase can finish while the victim is still mid-
+                # backoff; the restart bound is asserted on the log.
+                schedule = sum(RESTART_POLICY.delays())
+                _await_victim_healthy(
+                    supervisor, victim, schedule + STARTUP_TIMEOUT
+                )
+                restart_log = [dict(e) for e in supervisor.restart_log]
+                counters = dict(cluster.router_app.counters)
+        return clean, killed, victim, restart_log, counters, recorder.metrics
+
+    clean, killed, victim, restart_log, counters, metrics_snapshot = (
+        benchmark.pedantic(run, rounds=1)
+    )
+
+    # Floor 1: zero client-visible errors, in both phases (golden()
+    # raises on any transport error or non-200).
+    clean_golden = clean.golden()
+    killed_golden = killed.golden()
+    # Floor 2: the kill never changed an answer.
+    assert killed_golden == clean_golden
+    # Floor 3: the victim was restarted, pacing within the policy bound.
+    victim_entries = [
+        e for e in restart_log if e["replica_id"] == victim
+    ]
+    assert victim_entries, f"no restart recorded for {victim}"
+    recovered = [e for e in victim_entries if e["healthy_at"] is not None]
+    assert recovered, f"victim never back to healthy: {victim_entries}"
+    final = recovered[-1]
+    schedule_bound = sum(
+        RESTART_POLICY.delay_for(i) for i in range(1, final["attempt"] + 1)
+    )
+    waited = final["respawn_at"] - final["detected_at"]
+    assert waited >= RESTART_POLICY.delay_for(final["attempt"]) * 0.99
+    assert (
+        final["healthy_at"] - final["detected_at"]
+        <= schedule_bound + STARTUP_TIMEOUT
+    )
+    assert counters["failovers"] >= 1  # the kill was client-invisible
+
+    percentiles = {
+        "fault-free": clean.percentiles(),
+        "replica-kill": killed.percentiles(),
+    }
+    manifest = obs.build_manifest(
+        "bench_cluster",
+        config={
+            "clients": CLIENTS,
+            "replicas": REPLICAS,
+            "pool_size": POOL_SIZE,
+            "scenarios": list(SCENARIOS),
+            "budgets": list(BUDGETS),
+            "victim": victim,
+            "latency_seconds": percentiles,
+            "router_counters": counters,
+            "restart_log": restart_log,
+        },
+        seeds={"seed": 99},
+        metrics_snapshot=metrics_snapshot,
+        artifacts={"metrics": metrics_path},
+    )
+    manifest_path = obs.write_manifest(
+        manifest, obs.manifest_path_for(metrics_path)
+    )
+
+    rows = []
+    for label, result in (("fault-free", clean), ("replica-kill", killed)):
+        p = percentiles[label]
+        rows.append(
+            (
+                label,
+                len(result.responses),
+                len(result.errors),
+                f"{p['p50'] * 1000:.1f}",
+                f"{p['p95'] * 1000:.1f}",
+                f"{p['p99'] * 1000:.1f}",
+            )
+        )
+    emit(
+        f"serving cluster under load ({CLIENTS} clients x 2 phases, "
+        f"{REPLICAS} replicas, victim={victim} killed mid-phase)",
+        ascii_table(
+            ["phase", "requests", "errors", "p50 (ms)", "p95 (ms)", "p99 (ms)"],
+            rows,
+        )
+        + f"\nrestarts: {len(restart_log)}; router: {counters}"
+        + f"\nmanifest: {manifest_path}",
+    )

@@ -1,7 +1,8 @@
 """Load benchmark — the always-on shard server under concurrent fire.
 
-Two phases against real HTTP (stdlib client threads, one socket per
-simulated client):
+Two phases against real HTTP, driven by the shared
+:mod:`repro.serving.loadgen` harness (one connection per request, like
+real independent clients):
 
 1. **Fault-free**: hundreds of concurrent clients across a handful of
    distinct ``(budget, solver)`` queries — exercising warm-shard reuse,
@@ -20,12 +21,6 @@ pytest tmp dir, printed at the end).
 
 from __future__ import annotations
 
-import json
-import threading
-import time
-import urllib.error
-import urllib.request
-
 from conftest import SCALE, emit
 
 from repro import obs
@@ -33,7 +28,14 @@ from repro.communities.structure import Community, CommunityStructure
 from repro.experiments.reporting import ascii_table
 from repro.graph.generators import planted_partition_graph
 from repro.graph.weights import assign_weighted_cascade
-from repro.serving import ScenarioSpec, ShardApp, ShardStore, start_http_server
+from repro.serving import (
+    LoadGenerator,
+    LoadPhase,
+    ScenarioSpec,
+    ShardApp,
+    ShardStore,
+    start_http_server,
+)
 from repro.utils.faults import Fault, FaultInjector
 from repro.utils.retry import RetryPolicy
 
@@ -58,23 +60,8 @@ def _instance():
     return graph.freeze(), communities
 
 
-def _post(port: int, payload: dict):
-    request = urllib.request.Request(
-        f"http://127.0.0.1:{port}/solve",
-        data=json.dumps(payload).encode("utf-8"),
-        headers={"Content-Type": "application/json"},
-        method="POST",
-    )
-    try:
-        with urllib.request.urlopen(request, timeout=300) as response:
-            return response.status, json.loads(response.read())
-    except urllib.error.HTTPError as error:
-        return error.code, json.loads(error.read())
-
-
-def _run_phase(instance, injector):
-    """Fire CLIENTS concurrent requests; returns (responses, latencies,
-    app counters)."""
+def _run_phase(name, instance, injector):
+    """Fire CLIENTS concurrent requests; returns (PhaseResult, counters)."""
     spec = ScenarioSpec(
         name="load", dataset="facebook", seed=99, pool_size=POOL_SIZE
     )
@@ -89,45 +76,22 @@ def _run_phase(instance, injector):
     app = ShardApp(store)
     server = start_http_server(app)
     port = server.server_address[1]
-    responses = [None] * CLIENTS
-    latencies = [None] * CLIENTS
-
-    def client(i: int) -> None:
-        payload = dict(QUERIES[i % len(QUERIES)], scenario="load")
-        began = time.perf_counter()
-        responses[i] = _post(port, payload)
-        latencies[i] = time.perf_counter() - began
-
+    queries = [
+        dict(QUERIES[i % len(QUERIES)], scenario="load")
+        for i in range(CLIENTS)
+    ]
     try:
-        threads = [
-            threading.Thread(target=client, args=(i,)) for i in range(CLIENTS)
-        ]
-        for t in threads:
-            t.start()
-        for t in threads:
-            t.join(timeout=600)
+        generator = LoadGenerator("127.0.0.1", port)
+        result = generator.run_phase(
+            LoadPhase(name, queries, clients=CLIENTS)
+        )
         counters = dict(app.requests)
         counters.update(store.counters)
     finally:
         server.shutdown()
         server.server_close()
         app.close()
-    return responses, latencies, counters
-
-
-def _percentile(sorted_values, q: float) -> float:
-    index = min(len(sorted_values) - 1, int(q * len(sorted_values)))
-    return sorted_values[index]
-
-
-def _golden_by_query(responses):
-    golden = {}
-    for i, (status, body) in enumerate(responses):
-        assert status == 200, f"client {i} got {status}: {body}"
-        key = (body["budget"], body["solver"])
-        fields = (body["seeds"], body["objective"], body["num_samples"])
-        assert golden.setdefault(key, fields) == fields
-    return golden
+    return result, counters
 
 
 def test_serving_load(benchmark, tmp_path):
@@ -136,44 +100,36 @@ def test_serving_load(benchmark, tmp_path):
 
     def run():
         with obs.session(metrics_out=metrics_path) as recorder:
-            clean = _run_phase(instance, injector=None)
+            clean = _run_phase("fault-free", instance, injector=None)
             injector = FaultInjector(
                 # First batch of the shard's first merge round kills its
                 # worker process; the re-dispatch must be invisible.
                 [Fault.kill_on("generate_batch", start=0, attempt=0)]
             )
-            killed = _run_phase(instance, injector)
+            killed = _run_phase("1 worker kill", instance, injector)
         return clean, killed, recorder.metrics
 
     (clean, killed, metrics_snapshot) = benchmark.pedantic(run, rounds=1)
 
-    clean_golden = _golden_by_query(clean[0])  # also: zero non-200s
-    killed_golden = _golden_by_query(killed[0])
+    # golden() also asserts zero transport errors and zero non-200s.
+    clean_golden = clean[0].golden()
+    killed_golden = killed[0].golden()
     assert killed_golden == clean_golden  # byte-identical across the kill
-    assert all(latency is not None for latency in killed[1])  # zero drops
 
     rows = []
     percentiles = {}
-    for label, (_, latencies, counters) in (
-        ("fault-free", clean),
-        ("1 worker kill", killed),
-    ):
-        ordered = sorted(latencies)
-        p50, p95, p99 = (
-            _percentile(ordered, 0.50),
-            _percentile(ordered, 0.95),
-            _percentile(ordered, 0.99),
-        )
-        percentiles[label] = {"p50": p50, "p95": p95, "p99": p99}
+    for result, counters in (clean, killed):
+        p = result.percentiles()
+        percentiles[result.phase] = p
         rows.append(
             (
-                label,
+                result.phase,
                 counters["total"],
                 counters["batched"],
                 counters["failed"],
-                f"{p50 * 1000:.1f}",
-                f"{p95 * 1000:.1f}",
-                f"{p99 * 1000:.1f}",
+                f"{p['p50'] * 1000:.1f}",
+                f"{p['p95'] * 1000:.1f}",
+                f"{p['p99'] * 1000:.1f}",
             )
         )
 

@@ -9,6 +9,7 @@ Four subcommands cover the common workflows::
     python -m repro bench --record   # kernel perf trajectory
     python -m repro report run.manifest.json   # render a run manifest
     python -m repro serve --datasets facebook --port 8765
+    python -m repro cluster --datasets facebook --replicas 3
 
 ``solve`` and ``compare`` accept ``--trace-out``/``--metrics-out`` to
 record structured spans/metrics plus a run manifest through
@@ -322,6 +323,103 @@ def _build_parser() -> argparse.ArgumentParser:
         help="build and warm every scenario's shard before serving",
     )
     _add_observability_flags(serve)
+
+    cluster = sub.add_parser(
+        "cluster",
+        help=(
+            "run the supervised multi-replica serving cluster "
+            "(see docs/serving.md)"
+        ),
+    )
+    cluster.add_argument("--host", default="127.0.0.1")
+    cluster.add_argument(
+        "--port",
+        type=int,
+        default=8765,
+        help="router front-door port (replicas bind ephemeral ports)",
+    )
+    cluster.add_argument(
+        "--replicas",
+        type=int,
+        default=3,
+        help="replica server subprocesses to supervise",
+    )
+    cluster.add_argument(
+        "--replica-ports",
+        default=None,
+        metavar="P1,P2,...",
+        help=(
+            "comma-separated fixed replica ports (default: ephemeral, "
+            "stable across restarts either way)"
+        ),
+    )
+    cluster.add_argument(
+        "--datasets",
+        default="facebook",
+        help="comma-separated datasets to serve, one scenario each",
+    )
+    cluster.add_argument("--scale", type=float, default=0.2)
+    cluster.add_argument(
+        "--threshold", default="bounded", choices=["bounded", "fractional"]
+    )
+    cluster.add_argument("--size-cap", type=int, default=8)
+    cluster.add_argument("--model", default="ic", choices=["ic", "lt"])
+    cluster.add_argument("--seed", type=int, default=7)
+    cluster.add_argument("--pool-size", type=int, default=600)
+    cluster.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="sampler worker processes per shard (default: all cores)",
+    )
+    cluster.add_argument("--round-size", type=int, default=256)
+    cluster.add_argument(
+        "--memory-budget-mb",
+        type=float,
+        default=None,
+        help="per-replica cold-shard eviction budget in MiB",
+    )
+    cluster.add_argument(
+        "--solver",
+        default="UBG",
+        choices=["UBG", "MAF", "BT", "MB", "GreedyC"],
+    )
+    cluster.add_argument(
+        "--warm",
+        action="store_true",
+        help="each replica warms every scenario before serving",
+    )
+    cluster.add_argument(
+        "--heartbeat-interval",
+        type=float,
+        default=0.5,
+        help="seconds between supervisor health probes",
+    )
+    cluster.add_argument(
+        "--heartbeat-failures",
+        type=int,
+        default=3,
+        help="consecutive failed probes before a replica is restarted",
+    )
+    cluster.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=10.0,
+        help="seconds a draining server waits for in-flight requests",
+    )
+    cluster.add_argument(
+        "--breaker-threshold",
+        type=int,
+        default=3,
+        help="consecutive forward failures that open a circuit breaker",
+    )
+    cluster.add_argument(
+        "--breaker-reset-seconds",
+        type=float,
+        default=1.0,
+        help="cooldown before an open breaker admits a half-open probe",
+    )
+    _add_observability_flags(cluster)
 
     figure = sub.add_parser("figure", help="regenerate a paper figure")
     figure.add_argument(
@@ -706,6 +804,49 @@ def _cmd_serve(args) -> int:
         app.close()
 
 
+def _cmd_cluster(args) -> int:
+    from repro.serving import ClusterConfig, default_scenarios, run_cluster
+
+    names = [d.strip() for d in args.datasets.split(",") if d.strip()]
+    scenarios = default_scenarios(
+        names,
+        scale=args.scale,
+        threshold=args.threshold,
+        size_cap=args.size_cap,
+        model=args.model,
+        seed=args.seed,
+        pool_size=args.pool_size,
+    )
+    budget = (
+        int(args.memory_budget_mb * 1024 * 1024)
+        if args.memory_budget_mb
+        else None
+    )
+    replica_ports = None
+    if args.replica_ports:
+        replica_ports = tuple(
+            int(p.strip()) for p in args.replica_ports.split(",") if p.strip()
+        )
+    config = ClusterConfig(
+        scenarios,
+        replicas=args.replicas,
+        host=args.host,
+        router_port=args.port,
+        replica_ports=replica_ports,
+        workers=args.workers,
+        round_size=args.round_size,
+        memory_budget_bytes=budget,
+        default_solver=args.solver,
+        warm=args.warm,
+        heartbeat_interval=args.heartbeat_interval,
+        heartbeat_failures=args.heartbeat_failures,
+        drain_timeout=args.drain_timeout,
+        breaker_threshold=args.breaker_threshold,
+        breaker_reset_seconds=args.breaker_reset_seconds,
+    )
+    return run_cluster(config)
+
+
 def _cmd_figure(args) -> int:
     config = ExperimentConfig(
         dataset=args.dataset,
@@ -778,6 +919,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if args.command == "serve":
             return _with_observability(
                 args, "serve", lambda extras: _cmd_serve(args)
+            )
+        if args.command == "cluster":
+            return _with_observability(
+                args, "cluster", lambda extras: _cmd_cluster(args)
             )
         if args.command == "figure":
             return _cmd_figure(args)

@@ -93,6 +93,17 @@ class ServingError(ReproError):
     """
 
 
+class ClusterError(ServingError):
+    """Raised for cluster-level serving failures.
+
+    Examples: a replica that never became healthy within the startup
+    timeout, a supervisor asked to address a replica id it does not
+    manage, or a router whose every candidate replica refused a request
+    (the router maps that exhaustion to a ``503`` rather than letting
+    the error escape the HTTP layer).
+    """
+
+
 class ObservabilityError(ReproError):
     """Raised for misuse of the :mod:`repro.obs` instrumentation layer.
 

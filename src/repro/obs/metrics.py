@@ -58,6 +58,15 @@ CATALOG: Dict[str, str] = {
     "serving.shards.hits": "shard lookups served from a warm shard",
     "serving.shards.misses": "shard lookups that built (or rebuilt) a shard",
     "serving.shards.evictions": "cold shards evicted under the byte budget",
+    "serving.requests.width_coalesced": (
+        "ci_width requests answered from a shared cross-width top-up"
+    ),
+    "cluster.replica.restarts": "replica processes respawned by the supervisor",
+    "cluster.heartbeat.failures": "replica heartbeat probes that failed",
+    "router.requests.total": "solve requests accepted by the cluster router",
+    "router.requests.failed": "router requests answered with an error",
+    "router.failovers": "requests re-routed to a rendezvous successor",
+    "router.circuit.opened": "per-replica circuit breakers tripped open",
     # gauges
     "pool.coverage_entries": "inverted-index (sample, member) pairs at last compact()",
     "pool.bytes": "approximate pool memory footprint in bytes",
@@ -68,10 +77,12 @@ CATALOG: Dict[str, str] = {
     "estimator.samples.used": "pool samples behind the latest ĉ(S)",
     "serving.shards.active": "warm shards currently resident",
     "serving.shards.bytes": "summed resident shard footprint in bytes",
+    "cluster.replicas.active": "replica processes currently healthy",
     # histograms
     "pool.reach.histogram": "reach-set size distribution",
     "pool.sources.histogram": "samples-per-source-community distribution",
     "serving.request.seconds": "shard-server solve request latency",
+    "router.request.seconds": "router end-to-end solve request latency",
 }
 
 

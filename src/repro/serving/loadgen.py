@@ -1,0 +1,235 @@
+"""Reusable load harness for the serving layer (single server or cluster).
+
+PR 6's benchmark grew an ad-hoc thread-pool flood; this module distils
+it into something the serving benchmarks, the chaos floors and ad-hoc
+soak tests all share:
+
+- :class:`LoadPhase` — a named batch of queries fired by ``clients``
+  concurrent threads, optionally with a **chaos hook**: a callable
+  fired exactly once when the phase's completed-request count crosses
+  ``chaos_after`` (kill a replica, open a latency
+  :class:`~repro.utils.faults.FaultInjector` window, …). Firing on a
+  *count* rather than a timer keeps chaos deterministic relative to
+  load progress, not wall clock.
+- :class:`PhaseResult` — per-request statuses, bodies and latencies,
+  with :meth:`~PhaseResult.percentiles` (p50/p95/p99) and
+  :meth:`~PhaseResult.golden`, which maps each distinct query to its
+  canonical answer bytes and *fails loudly* on any non-200 or any
+  disagreement between duplicate queries — the zero-client-visible-
+  errors and byte-identity assertions of the chaos floors.
+- :class:`LoadGenerator` — drives phases against one HTTP address
+  (shard server or cluster router; both speak the same ``/solve``).
+
+Everything is stdlib: ``http.client`` per request (connection per
+request, like real independent clients), ``ThreadPoolExecutor`` for the
+client fleet.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ClusterError
+
+
+def percentile(sorted_values: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile (0–100) of an ascending-sorted sequence.
+
+    Nearest-rank on an already-sorted list — the same definition PR 6's
+    benchmark used, kept here so recorded manifests stay comparable.
+    """
+    if not sorted_values:
+        raise ClusterError("cannot take a percentile of no samples")
+    if not 0.0 <= q <= 100.0:
+        raise ClusterError(f"percentile must be within [0, 100], got {q}")
+    rank = max(0, min(len(sorted_values) - 1,
+                      round(q / 100.0 * len(sorted_values)) - 1))
+    return sorted_values[rank]
+
+
+@dataclass(frozen=True)
+class LoadPhase:
+    """One named load phase: queries, concurrency, optional chaos.
+
+    ``queries`` are ``/solve`` payload dicts; they are dealt to
+    ``clients`` worker threads round-robin, each request on its own
+    connection. ``chaos`` (if set) fires exactly once, inline in
+    whichever client thread completes request number ``chaos_after``
+    (``chaos_after <= 0`` fires it before the first request is sent).
+    """
+
+    name: str
+    queries: Sequence[Dict]
+    clients: int = 8
+    chaos: Optional[Callable[[], None]] = None
+    chaos_after: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.queries:
+            raise ClusterError(f"phase {self.name!r} has no queries")
+        if self.clients < 1:
+            raise ClusterError(
+                f"phase {self.name!r} needs >= 1 client, got {self.clients}"
+            )
+
+
+@dataclass
+class PhaseResult:
+    """Everything one phase observed, ready for assertions.
+
+    ``responses[i]`` is ``(status, body_bytes)`` for ``queries[i]``;
+    ``latencies[i]`` its seconds. ``errors`` collects transport-level
+    failures (connection refused/reset) as strings — a chaos floor
+    asserting *zero client-visible errors* checks both ``errors == []``
+    and every status == 200.
+    """
+
+    phase: str
+    queries: List[Dict] = field(default_factory=list)
+    responses: List[Tuple[int, bytes]] = field(default_factory=list)
+    latencies: List[float] = field(default_factory=list)
+    errors: List[str] = field(default_factory=list)
+    duration_seconds: float = 0.0
+
+    def statuses(self) -> List[int]:
+        """The HTTP status of every answered request."""
+        return [status for status, _ in self.responses]
+
+    def percentiles(self) -> Dict[str, float]:
+        """p50/p95/p99 request latency in seconds."""
+        ordered = sorted(self.latencies)
+        return {
+            "p50": percentile(ordered, 50),
+            "p95": percentile(ordered, 95),
+            "p99": percentile(ordered, 99),
+        }
+
+    def golden(self) -> Dict[str, bytes]:
+        """Canonical answer bytes per distinct query — or fail loudly.
+
+        Raises :class:`~repro.errors.ClusterError` if the phase saw any
+        transport error, any non-200 status, or two duplicate queries
+        answered with different *deterministic* fields. Volatile fields
+        (``batched``, ``cache_hit`` — which legitimately differ between
+        a leader and its followers, or across replicas) are stripped
+        before comparison; what remains is exactly the determinism
+        contract (``seeds``, ``objective``, ``num_samples``, …).
+        """
+        if self.errors:
+            raise ClusterError(
+                f"phase {self.phase!r} saw {len(self.errors)} transport "
+                f"errors, first: {self.errors[0]}"
+            )
+        canonical: Dict[str, bytes] = {}
+        for query, (status, body) in zip(self.queries, self.responses):
+            if status != 200:
+                raise ClusterError(
+                    f"phase {self.phase!r} query {query} answered "
+                    f"{status}: {body[:200]!r}"
+                )
+            key = json.dumps(query, sort_keys=True)
+            stripped = self._strip_volatile(body)
+            seen = canonical.get(key)
+            if seen is None:
+                canonical[key] = stripped
+            elif seen != stripped:
+                raise ClusterError(
+                    f"phase {self.phase!r} answered {key} two ways:\n"
+                    f"  {seen!r}\n  {stripped!r}"
+                )
+        return canonical
+
+    @staticmethod
+    def _strip_volatile(body: bytes) -> bytes:
+        payload = json.loads(body.decode("utf-8"))
+        payload.pop("batched", None)
+        payload.pop("cache_hit", None)
+        return json.dumps(payload, sort_keys=True).encode("utf-8")
+
+
+class LoadGenerator:
+    """Fire :class:`LoadPhase` batches at one serving address."""
+
+    def __init__(
+        self, host: str, port: int, *, timeout: float = 300.0
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    def _post(self, payload: Dict) -> Tuple[int, bytes]:
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            conn.request(
+                "POST",
+                "/solve",
+                body=json.dumps(payload).encode("utf-8"),
+                headers={"Content-Type": "application/json"},
+            )
+            response = conn.getresponse()
+            return response.status, response.read()
+        finally:
+            conn.close()
+
+    def run_phase(self, phase: LoadPhase) -> PhaseResult:
+        """Run one phase to completion and collect its result.
+
+        Requests run on a ``clients``-wide thread pool; results land at
+        their query's index so duplicate-query comparison stays
+        aligned. The chaos hook fires inline in the client thread whose
+        completion crosses ``chaos_after`` — by then at least that many
+        answers exist, so a "kill mid-phase" floor is guaranteed some
+        pre-kill and some post-kill traffic.
+        """
+        queries = list(phase.queries)
+        result = PhaseResult(phase=phase.name, queries=queries)
+        result.responses = [(0, b"")] * len(queries)
+        result.latencies = [0.0] * len(queries)
+        completed = 0
+        chaos_fired = phase.chaos is None
+        lock = threading.Lock()
+        if not chaos_fired and phase.chaos_after <= 0:
+            phase.chaos()
+            chaos_fired = True
+
+        def _one(index: int) -> None:
+            nonlocal completed, chaos_fired
+            began = time.perf_counter()
+            try:
+                status, body = self._post(queries[index])
+                result.responses[index] = (status, body)
+            except (OSError, http.client.HTTPException) as exc:
+                with lock:
+                    result.errors.append(f"{queries[index]}: {exc}")
+            finally:
+                result.latencies[index] = time.perf_counter() - began
+            fire = False
+            with lock:
+                completed += 1
+                if not chaos_fired and completed >= phase.chaos_after:
+                    chaos_fired = True
+                    fire = True
+            if fire:
+                phase.chaos()
+
+        began = time.perf_counter()
+        with ThreadPoolExecutor(max_workers=phase.clients) as pool:
+            futures = [
+                pool.submit(_one, index) for index in range(len(queries))
+            ]
+            for future in futures:
+                future.result()
+        result.duration_seconds = time.perf_counter() - began
+        return result
+
+    def run(self, phases: Sequence[LoadPhase]) -> List[PhaseResult]:
+        """Run phases sequentially; returns one result per phase."""
+        return [self.run_phase(phase) for phase in phases]

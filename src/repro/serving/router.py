@@ -1,0 +1,462 @@
+"""Cluster front door: rendezvous routing, circuit breakers, failover.
+
+The router is the single address clients talk to when the serving layer
+runs as a multi-replica cluster (:mod:`repro.serving.cluster`). It owns
+three jobs:
+
+- **Placement.** Scenario keys are consistent-hashed to replicas with
+  rendezvous (highest-random-weight) hashing
+  (:func:`rendezvous_order`), so each shard stays warm in exactly one
+  process and adding/removing a replica remaps only that replica's
+  scenarios — no global reshuffle, no cold sweep across the fleet.
+- **Failure isolation.** Each replica gets a :class:`CircuitBreaker`:
+  consecutive forwarding failures trip it open, open breakers are
+  skipped during candidate selection, and after a cooldown a single
+  half-open probe decides whether the replica is back.
+- **Failover.** A failed forward retries against the next replica in
+  the key's rendezvous order. This is safe *because solves are
+  deterministic*: every replica computes byte-identical deterministic
+  fields (``seeds``, ``objective``, ``num_samples``) for the same
+  query, so at-least-once delivery cannot change an answer — the
+  failover target merely pays a cold-build before replying.
+
+The router never parses a replica's answer: response bytes stream back
+unchanged, preserving byte-identity end to end. Framing hardening is
+shared with the shard server via
+:func:`repro.serving.server.read_json_body`.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler
+from typing import Callable, Dict, Iterable, List, NamedTuple, Optional, Tuple
+from hashlib import sha256
+
+from repro.errors import ClusterError, ServingError
+from repro.obs import metrics
+from repro.obs.metrics import to_prometheus_text
+from repro.serving.server import (
+    GracefulHTTPServer,
+    RequestRejected,
+    read_json_body,
+)
+from repro.utils.faults import FaultInjector
+
+#: Fault-injection site fired before each forward attempt — chaos tests
+#: inject latency (or errors) into the router's data path here.
+FORWARD_SITE = "router_forward"
+
+
+def _weight(key: str, replica_id: str) -> int:
+    """Deterministic rendezvous weight of ``replica_id`` for ``key``."""
+    digest = sha256(f"{key}|{replica_id}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def rendezvous_order(key: str, replica_ids: Iterable[str]) -> List[str]:
+    """Replica ids by descending rendezvous weight for ``key``.
+
+    The first element is the key's home replica; the rest are its
+    failover successors in preference order. The order is a pure
+    function of the ids present: removing one id deletes its entry and
+    shifts nothing else, which is exactly the "only the removed
+    replica's scenarios remap" stability property the cluster relies on
+    (property-tested in ``tests/test_prop_router.py``). Ties — sha256
+    collisions, in practice unseen — break on the id itself so the
+    order stays total and deterministic.
+    """
+    ids = list(replica_ids)
+    if len(set(ids)) != len(ids):
+        raise ClusterError(f"replica ids must be unique, got {ids}")
+    return sorted(ids, key=lambda rid: (_weight(key, rid), rid), reverse=True)
+
+
+def assign_replica(key: str, replica_ids: Iterable[str]) -> str:
+    """The home replica for ``key`` — head of its rendezvous order."""
+    order = rendezvous_order(key, replica_ids)
+    if not order:
+        raise ClusterError("cannot assign a key across zero replicas")
+    return order[0]
+
+
+class ReplicaEndpoint(NamedTuple):
+    """Where one replica listens, plus the supervisor's health verdict."""
+
+    replica_id: str
+    host: str
+    port: int
+    healthy: bool
+
+
+class CircuitBreaker:
+    """Per-replica failure gate: closed → open → half-open → closed.
+
+    ``failure_threshold`` *consecutive* failures trip the breaker open;
+    while open, :meth:`allow` refuses traffic until ``reset_seconds``
+    elapsed, then admits exactly one half-open probe — its success
+    closes the breaker, its failure re-opens it for another full
+    cooldown. The clock is injectable so tests drive transitions
+    without sleeping. Thread-safe: the router's handler threads call
+    :meth:`allow` / :meth:`record_failure` concurrently.
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        reset_seconds: float = 1.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ClusterError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        if reset_seconds < 0:
+            raise ClusterError(
+                f"reset_seconds must be non-negative, got {reset_seconds}"
+            )
+        self.failure_threshold = failure_threshold
+        self.reset_seconds = reset_seconds
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = "closed"
+        self._failures = 0
+        self._opened_at = 0.0
+        self._probing = False
+
+    def state(self) -> str:
+        """Current state name (``closed`` / ``open`` / ``half-open``)."""
+        with self._lock:
+            self._maybe_half_open()
+            return self._state
+
+    def _maybe_half_open(self) -> None:
+        # Requires self._lock.
+        if (
+            self._state == "open"
+            and self._clock() - self._opened_at >= self.reset_seconds
+        ):
+            self._state = "half-open"
+            self._probing = False
+
+    def allow(self) -> bool:
+        """Whether a request may be sent to this replica right now.
+
+        In half-open state only the *first* caller gets through (the
+        probe); concurrent callers are refused until the probe's
+        outcome is recorded.
+        """
+        with self._lock:
+            self._maybe_half_open()
+            if self._state == "closed":
+                return True
+            if self._state == "half-open" and not self._probing:
+                self._probing = True
+                return True
+            return False
+
+    def record_success(self) -> None:
+        """A forward succeeded: reset failures, close the breaker."""
+        with self._lock:
+            self._state = "closed"
+            self._failures = 0
+            self._probing = False
+
+    def record_failure(self) -> bool:
+        """A forward failed; returns ``True`` if this *opened* the breaker.
+
+        A half-open probe failure re-opens immediately (and counts as an
+        opening); in closed state the breaker opens once consecutive
+        failures reach the threshold.
+        """
+        with self._lock:
+            if self._state == "half-open":
+                self._state = "open"
+                self._opened_at = self._clock()
+                self._probing = False
+                return True
+            self._failures += 1
+            if self._state == "closed" and (
+                self._failures >= self.failure_threshold
+            ):
+                self._state = "open"
+                self._opened_at = self._clock()
+                return True
+            return False
+
+
+class RouterApp:
+    """Transport-independent routing logic for the cluster front door.
+
+    ``replicas`` is a zero-argument callable returning the current
+    :class:`ReplicaEndpoint` list — the supervisor's live view, so a
+    restarted replica rejoins routing the moment its health flips back
+    without the router holding a reference into supervisor internals.
+    """
+
+    def __init__(
+        self,
+        replicas: Callable[[], List[ReplicaEndpoint]],
+        *,
+        breaker_threshold: int = 3,
+        breaker_reset_seconds: float = 1.0,
+        forward_timeout: float = 300.0,
+        fault_injector: Optional[FaultInjector] = None,
+    ) -> None:
+        self.replicas = replicas
+        self.breaker_threshold = breaker_threshold
+        self.breaker_reset_seconds = breaker_reset_seconds
+        self.forward_timeout = forward_timeout
+        self.faults = fault_injector
+        self.started = time.monotonic()
+        self._lock = threading.Lock()
+        self._breakers: Dict[str, CircuitBreaker] = {}
+        self.counters = {"routed": 0, "failovers": 0, "failed": 0}
+
+    # -- bookkeeping ----------------------------------------------------
+
+    def breaker(self, replica_id: str) -> CircuitBreaker:
+        """The (lazily created) circuit breaker for one replica."""
+        with self._lock:
+            breaker = self._breakers.get(replica_id)
+            if breaker is None:
+                breaker = self._breakers[replica_id] = CircuitBreaker(
+                    self.breaker_threshold, self.breaker_reset_seconds
+                )
+            return breaker
+
+    def _count(self, field: str) -> None:
+        with self._lock:
+            self.counters[field] += 1
+
+    # -- endpoints ------------------------------------------------------
+
+    def healthz(self) -> Dict[str, str]:
+        """Liveness payload for the router process itself."""
+        return {"status": "ok"}
+
+    def status(self) -> Dict[str, object]:
+        """Routing snapshot: replicas, breaker states, counters."""
+        endpoints = self.replicas()
+        with self._lock:
+            counters = dict(self.counters)
+            breakers = {
+                rid: breaker.state()
+                for rid, breaker in self._breakers.items()
+            }
+        return {
+            "replicas": [
+                {
+                    "replica_id": ep.replica_id,
+                    "host": ep.host,
+                    "port": ep.port,
+                    "healthy": ep.healthy,
+                    "breaker": breakers.get(ep.replica_id, "closed"),
+                }
+                for ep in endpoints
+            ],
+            "requests": counters,
+            "uptime_seconds": time.monotonic() - self.started,
+        }
+
+    def prometheus(self) -> str:
+        """Prometheus text exposition of the router process registry."""
+        return to_prometheus_text(metrics.snapshot())
+
+    # -- routing --------------------------------------------------------
+
+    def candidates(self, scenario: str) -> List[ReplicaEndpoint]:
+        """Failover-ordered forwarding targets for ``scenario``.
+
+        Rendezvous order over *all* replicas, filtered down to those
+        both supervisor-healthy and breaker-admitted. When the filter
+        leaves nothing (every replica mid-restart, say), the full
+        rendezvous order is returned instead — trying a probably-dead
+        replica and failing loudly beats refusing without trying, and a
+        replica that just recovered answers correctly either way.
+        """
+        endpoints = {ep.replica_id: ep for ep in self.replicas()}
+        order = rendezvous_order(scenario, endpoints.keys())
+        ranked = [endpoints[rid] for rid in order]
+        available = [
+            ep
+            for ep in ranked
+            if ep.healthy and self.breaker(ep.replica_id).allow()
+        ]
+        return available if available else ranked
+
+    def route_solve(self, payload: Dict) -> Tuple[int, bytes]:
+        """Forward one ``/solve`` to its home replica, failing over.
+
+        Returns ``(status, body_bytes)`` with the winning replica's
+        response bytes untouched. Candidates are tried in rendezvous
+        order; a connection error or 5xx records a breaker failure and
+        moves on (4xx is the *client's* fault — it is returned as-is
+        and charged to no replica). When every candidate fails, the
+        answer is a 503 carrying the per-replica error detail.
+        """
+        began = time.perf_counter()
+        metrics.inc("router.requests.total")
+        scenario = payload.get("scenario") if isinstance(payload, dict) else None
+        if not isinstance(scenario, str) or not scenario:
+            raise ServingError("solve payload needs a 'scenario' string")
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        candidates = self.candidates(scenario)
+        if not candidates:
+            metrics.inc("router.requests.failed")
+            self._count("failed")
+            return 503, json.dumps(
+                {"error": "no replicas available"}
+            ).encode("utf-8")
+        errors: List[str] = []
+        try:
+            for attempt, endpoint in enumerate(candidates):
+                if attempt > 0:
+                    self._count("failovers")
+                    metrics.inc("router.failovers")
+                breaker = self.breaker(endpoint.replica_id)
+                try:
+                    if self.faults is not None:
+                        self.faults.fire(
+                            FORWARD_SITE, replica=endpoint.replica_id
+                        )
+                    status, response = self._forward(endpoint, body)
+                except (OSError, http.client.HTTPException) as exc:
+                    if breaker.record_failure():
+                        metrics.inc("router.circuit.opened")
+                    errors.append(f"{endpoint.replica_id}: {exc}")
+                    continue
+                if status >= 500:
+                    if breaker.record_failure():
+                        metrics.inc("router.circuit.opened")
+                    errors.append(
+                        f"{endpoint.replica_id}: HTTP {status}"
+                    )
+                    continue
+                breaker.record_success()
+                self._count("routed")
+                if status >= 400:
+                    metrics.inc("router.requests.failed")
+                return status, response
+            metrics.inc("router.requests.failed")
+            self._count("failed")
+            return 503, json.dumps(
+                {"error": "all replicas failed", "detail": errors}
+            ).encode("utf-8")
+        finally:
+            metrics.observe(
+                "router.request.seconds", time.perf_counter() - began
+            )
+
+    def _forward(
+        self, endpoint: ReplicaEndpoint, body: bytes
+    ) -> Tuple[int, bytes]:
+        """POST ``body`` to one replica's ``/solve``; return its answer."""
+        conn = http.client.HTTPConnection(
+            endpoint.host, endpoint.port, timeout=self.forward_timeout
+        )
+        try:
+            conn.request(
+                "POST",
+                "/solve",
+                body=body,
+                headers={"Content-Type": "application/json"},
+            )
+            response = conn.getresponse()
+            return response.status, response.read()
+        finally:
+            conn.close()
+
+
+class RouterHTTPServer(GracefulHTTPServer):
+    """Threaded HTTP server bound to a :class:`RouterApp`."""
+
+    def __init__(self, address: Tuple[str, int], app: RouterApp) -> None:
+        super().__init__(address, _RouterHandler)
+        self.app = app
+
+
+class _RouterHandler(BaseHTTPRequestHandler):
+    """JSON adapter between HTTP and :class:`RouterApp`."""
+
+    server_version = "repro-imc-router/1.0"
+    protocol_version = "HTTP/1.1"
+    timeout = 60
+
+    def log_message(self, *args) -> None:  # noqa: D102 - silence stderr
+        pass
+
+    @property
+    def app(self) -> RouterApp:
+        return self.server.app  # type: ignore[attr-defined]
+
+    def _send(self, code: int, body: bytes, content_type: str) -> None:
+        self.send_response(code)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_json(self, code: int, payload: Dict) -> None:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        self._send(code, body, "application/json")
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        try:
+            if self.path == "/healthz":
+                self._send_json(200, self.app.healthz())
+            elif self.path == "/status":
+                self._send_json(200, self.app.status())
+            elif self.path == "/metrics":
+                self._send(
+                    200,
+                    self.app.prometheus().encode("utf-8"),
+                    "text/plain; version=0.0.4",
+                )
+            else:
+                self._send_json(404, {"error": f"no such path {self.path}"})
+        except Exception as exc:  # noqa: BLE001 - answer, never drop
+            self._send_json(500, {"error": str(exc)})
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        try:
+            if self.path == "/solve":
+                payload = read_json_body(self.headers, self.rfile)
+                status, body = self.app.route_solve(payload)
+                self._send(status, body, "application/json")
+            elif self.path == "/shutdown":
+                self._send_json(200, {"status": "shutting down"})
+                threading.Thread(
+                    target=self.server.shutdown, daemon=True
+                ).start()
+            else:
+                self._send_json(404, {"error": f"no such path {self.path}"})
+        except RequestRejected as exc:
+            self.close_connection = True
+            self._send_json(exc.status, {"error": exc.message})
+        except ServingError as exc:
+            self._send_json(400, {"error": str(exc)})
+        except Exception as exc:  # noqa: BLE001 - answer, never drop
+            self._send_json(500, {"error": str(exc)})
+
+
+def start_router_server(
+    app: RouterApp, host: str = "127.0.0.1", port: int = 0
+) -> RouterHTTPServer:
+    """Start serving ``app`` on a daemon thread; returns the server.
+
+    ``port=0`` binds an ephemeral port — read the actual one from
+    ``server.server_address[1]``. The caller owns shutdown (via
+    ``server.drain()`` for a graceful stop, or ``server.shutdown();
+    server.server_close()``).
+    """
+    server = RouterHTTPServer((host, port), app)
+    thread = threading.Thread(
+        target=server.serve_forever, name="repro-router", daemon=True
+    )
+    thread.start()
+    server._serve_thread = thread  # type: ignore[attr-defined]
+    return server

@@ -25,7 +25,11 @@ Endpoints:
 Error mapping: a :class:`~repro.errors.ServingError` on an unknown
 scenario is ``404``; any other :class:`~repro.errors.ReproError` is
 ``400``; unexpected exceptions are ``500`` — a request is answered in
-all cases, never dropped.
+all cases, never dropped. Malformed framing is rejected *before* the
+body is read: a missing ``Content-Length`` is ``411``, a declared
+length above :data:`MAX_BODY_BYTES` is ``413`` — so a malicious or
+broken client can neither hang a handler thread on an unbounded read
+nor balloon a replica's memory with one giant body.
 """
 
 from __future__ import annotations
@@ -34,7 +38,7 @@ import json
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Dict, Optional, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
 from repro.errors import ReproError, ServingError
 from repro.obs import metrics
@@ -42,6 +46,67 @@ from repro.obs.metrics import to_prometheus_text
 from repro.obs.sinks import read_jsonl
 from repro.serving.batching import RequestBatcher
 from repro.serving.shards import ShardStore
+
+#: Hard cap on request-body size. Solve payloads are a few hundred
+#: bytes; anything past this is a broken or hostile client and is
+#: rejected with ``413`` before a single body byte is read.
+MAX_BODY_BYTES = 1 << 20
+
+
+class RequestRejected(Exception):
+    """An HTTP request refused before dispatch, with a specific status.
+
+    Raised by :func:`read_json_body` for framing-level problems (missing
+    ``Content-Length`` → 411, oversized body → 413, malformed length or
+    JSON → 400). Handlers map it straight to a response; it never
+    escapes the HTTP layer.
+    """
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+def read_json_body(headers, rfile, max_bytes: int = MAX_BODY_BYTES) -> Dict:
+    """Read and parse one JSON request body, defensively.
+
+    Validates the ``Content-Length`` header *before* touching the
+    stream: missing → :class:`RequestRejected` 411 (Length Required),
+    non-integer or negative → 400, above ``max_bytes`` → 413 (Payload
+    Too Large). Only then reads exactly the declared bytes and parses
+    them as JSON (bad encoding/JSON → 400). Shared by the shard-server
+    and router handlers so both front doors reject malformed framing
+    identically.
+    """
+    declared = headers.get("Content-Length")
+    if declared is None:
+        raise RequestRejected(
+            411, "Content-Length header is required for this request"
+        )
+    try:
+        length = int(declared)
+    except (TypeError, ValueError):
+        raise RequestRejected(
+            400, f"Content-Length is not an integer: {declared!r}"
+        )
+    if length < 0:
+        raise RequestRejected(
+            400, f"Content-Length cannot be negative: {length}"
+        )
+    if length > max_bytes:
+        raise RequestRejected(
+            413,
+            f"request body of {length} bytes exceeds the "
+            f"{max_bytes}-byte limit",
+        )
+    raw = rfile.read(length) if length else b""
+    if not raw:
+        raise RequestRejected(400, "request needs a JSON body")
+    try:
+        return json.loads(raw.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise RequestRejected(400, f"request body is not valid JSON: {exc}")
 
 
 class ShardApp:
@@ -95,14 +160,37 @@ class ShardApp:
         return to_prometheus_text(metrics.snapshot())
 
     def solve(self, payload: Dict) -> Dict:
-        """Answer one ``/solve`` request, batching concurrent twins."""
+        """Answer one ``/solve`` request, batching concurrent twins.
+
+        Concurrent requests coalesce on ``(scenario, budget, solver,
+        has_ci_width)`` — so requests for *different* ``ci_width``
+        targets on the same shard share one pool top-up, driven by the
+        tightest width registered on the flight (plain queries never
+        coalesce with ``ci_width`` ones, keeping their ``num_samples``
+        a pure function of the spec). A follower whose own width the
+        shared solve did not reach re-solves directly — the pool was
+        already grown, so that re-solve is one cheap extra round at
+        most — and every follower is answered at its own precision.
+        """
         began = time.perf_counter()
         try:
             scenario, k, solver, ci_width = self._parse_solve(payload)
-            key = (scenario, k, solver, ci_width)
+            group = (scenario, k, solver, ci_width is not None)
             result, leader = self.batcher.run(
-                key, lambda: self._compute(scenario, k, solver, ci_width)
+                group,
+                lambda: self._compute(
+                    scenario,
+                    k,
+                    solver,
+                    ci_width,
+                    width_provider=lambda: self.batcher.tightest_width(
+                        group
+                    ),
+                ),
+                width=ci_width,
             )
+            if not leader and not self._width_satisfied(result, ci_width):
+                result = self._compute(scenario, k, solver, ci_width)
         except BaseException:
             self._count("failed")
             metrics.inc("serving.requests.failed")
@@ -116,9 +204,26 @@ class ShardApp:
         if not leader:
             self._count("batched")
             metrics.inc("serving.requests.batched")
+            if ci_width is not None:
+                metrics.inc("serving.requests.width_coalesced")
         response = dict(result)
         response["batched"] = not leader
         return response
+
+    @staticmethod
+    def _width_satisfied(result: Dict, ci_width: Optional[float]) -> bool:
+        """Whether a shared flight's answer meets this request's width.
+
+        ``True`` for plain queries, for answers whose relative CI width
+        reached the target, and for pools already grown to the adaptive
+        ceiling (where a direct solve could do no better either).
+        """
+        if ci_width is None:
+            return True
+        relative = result.get("ci_relative_width")
+        if relative is not None and relative <= ci_width:
+            return True
+        return bool(result.get("pool_capped"))
 
     def _parse_solve(
         self, payload: Dict
@@ -148,14 +253,22 @@ class ShardApp:
         return scenario, budget, solver, ci_width
 
     def _compute(
-        self, scenario: str, k: int, solver: str, ci_width: Optional[float]
+        self,
+        scenario: str,
+        k: int,
+        solver: str,
+        ci_width: Optional[float],
+        width_provider: Optional[Callable[[], Optional[float]]] = None,
     ) -> Dict:
         shard = self.store.get(scenario)
         with shard.lock:
             shard.touch()
             shard.warm()
             response, cache_hit = shard.solve(
-                k, solver_name=solver, ci_width=ci_width
+                k,
+                solver_name=solver,
+                ci_width=ci_width,
+                width_provider=width_provider,
             )
         # Evict *after* releasing the shard lock; the just-used shard
         # is protected so a tight budget cannot thrash it.
@@ -169,8 +282,15 @@ class ShardApp:
         self.store.close()
 
 
-class ShardHTTPServer(ThreadingHTTPServer):
-    """Threaded HTTP server bound to a :class:`ShardApp`."""
+class GracefulHTTPServer(ThreadingHTTPServer):
+    """Threaded HTTP server with in-flight tracking and graceful drain.
+
+    Base for the shard-server and router front doors. :meth:`drain`
+    implements the SIGTERM protocol both use: stop accepting new
+    connections, let every in-flight handler finish (bounded by a
+    timeout), then close the listening socket — so a rolling restart
+    never cuts a request mid-solve.
+    """
 
     daemon_threads = True
     allow_reuse_address = True
@@ -178,6 +298,57 @@ class ShardHTTPServer(ThreadingHTTPServer):
     #: a burst of hundreds of simultaneous clients before accept() can
     #: drain them; the load floor needs the kernel to queue the burst.
     request_queue_size = 1024
+
+    def __init__(self, address: Tuple[str, int], handler_class) -> None:
+        super().__init__(address, handler_class)
+        self._inflight = 0
+        self._inflight_lock = threading.Lock()
+        self._idle = threading.Event()
+        self._idle.set()
+        self._socket_closed = False
+
+    def finish_request(self, request, client_address) -> None:
+        """Dispatch one connection, counted against the drain barrier."""
+        with self._inflight_lock:
+            self._inflight += 1
+            self._idle.clear()
+        try:
+            super().finish_request(request, client_address)
+        finally:
+            with self._inflight_lock:
+                self._inflight -= 1
+                if self._inflight == 0:
+                    self._idle.set()
+
+    def in_flight(self) -> int:
+        """Connections currently being handled."""
+        with self._inflight_lock:
+            return self._inflight
+
+    def server_close(self) -> None:
+        """Close the listening socket (idempotent — drain also closes)."""
+        if self._socket_closed:
+            return
+        self._socket_closed = True
+        super().server_close()
+
+    def drain(self, timeout: float = 10.0) -> bool:
+        """Graceful stop: stop accepting, finish in-flight, then close.
+
+        Blocks until ``serve_forever`` has exited and every in-flight
+        handler completed (or ``timeout`` seconds passed). Returns
+        whether the drain was clean — ``False`` means handlers were
+        still running when the timeout expired; their daemon threads
+        die with the process.
+        """
+        self.shutdown()
+        drained = self._idle.wait(timeout)
+        self.server_close()
+        return drained
+
+
+class ShardHTTPServer(GracefulHTTPServer):
+    """Threaded HTTP server bound to a :class:`ShardApp`."""
 
     def __init__(self, address: Tuple[str, int], app: ShardApp) -> None:
         super().__init__(address, _Handler)
@@ -189,6 +360,10 @@ class _Handler(BaseHTTPRequestHandler):
 
     server_version = "repro-imc-serve/1.0"
     protocol_version = "HTTP/1.1"
+    #: Socket timeout while reading a request, so a client that stalls
+    #: mid-headers or sends fewer body bytes than it declared cannot
+    #: pin a handler thread forever.
+    timeout = 60
 
     def log_message(self, *args) -> None:  # noqa: D102 - silence stderr
         pass
@@ -236,6 +411,12 @@ class _Handler(BaseHTTPRequestHandler):
                 ).start()
             else:
                 self._send_json(404, {"error": f"no such path {self.path}"})
+        except RequestRejected as exc:
+            # Framing was rejected before the body was (fully) read, so
+            # the connection may hold unread bytes — close it rather
+            # than desynchronise the next keep-alive request.
+            self.close_connection = True
+            self._send_json(exc.status, {"error": exc.message})
         except ServingError as exc:
             code = 404 if "unknown scenario" in str(exc) else 400
             self._send_json(code, {"error": str(exc)})
@@ -245,14 +426,7 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_json(500, {"error": str(exc)})
 
     def _read_body(self) -> Dict:
-        length = int(self.headers.get("Content-Length") or 0)
-        raw = self.rfile.read(length) if length else b""
-        if not raw:
-            raise ServingError("solve request needs a JSON body")
-        try:
-            return json.loads(raw.decode("utf-8"))
-        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-            raise ServingError(f"request body is not valid JSON: {exc}")
+        return read_json_body(self.headers, self.rfile)
 
 
 def start_http_server(

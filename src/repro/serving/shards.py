@@ -31,7 +31,7 @@ from __future__ import annotations
 
 import threading
 import time
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.communities.structure import CommunityStructure
 from repro.core.bt import BT, MB
@@ -172,18 +172,26 @@ class WarmShard:
         k: int,
         solver_name: str = "UBG",
         ci_width: Optional[float] = None,
+        width_provider: Optional[Callable[[], Optional[float]]] = None,
     ) -> Tuple[Dict, bool]:
         """Answer one ``(budget, solver, ci_width)`` query.
 
         Requires :attr:`lock`. Returns ``(response, cache_hit)``. The
         response's deterministic fields — ``seeds``, ``objective``,
         ``num_samples`` — depend only on the scenario spec and the
-        query, never on timing, shard crashes or request interleaving.
+        query, never on timing, shard crashes or request interleaving
+        (for ``ci_width`` queries the pool size additionally reflects
+        earlier top-ups, so ``num_samples`` is "at least enough", not a
+        fixed number).
 
         With ``ci_width`` set, the pool is topped up (doubling, in
         bounded merge rounds) until the relative CI width of ĉ(S) is
-        at most ``ci_width`` or the pool reaches ``pool_size *
-        MAX_POOL_FACTOR``.
+        at most the target or the pool reaches ``pool_size *
+        MAX_POOL_FACTOR``. ``width_provider`` makes the target dynamic:
+        it is re-read between rounds (the request batcher's
+        ``tightest_width``), so followers coalesced onto this solve can
+        tighten one shared top-up instead of queuing their own; when it
+        returns ``None`` the request's own ``ci_width`` applies.
         """
         if solver_name not in SOLVERS:
             raise ServingError(
@@ -210,11 +218,18 @@ class WarmShard:
                 bernoulli_sample_variance(influenced, n), n, delta=CI_DELTA
             )
             relative = halfwidth / objective if objective > 0 else None
+            target = ci_width
+            if width_provider is not None:
+                dynamic = width_provider()
+                if dynamic is not None:
+                    target = (
+                        dynamic if target is None else min(target, dynamic)
+                    )
             if (
-                ci_width is None
+                target is None
                 or n >= max_pool
                 or relative is None
-                or relative <= ci_width
+                or relative <= target
             ):
                 break
             self.ensure_target(min(max_pool, max(n * 2, n + 1)))
@@ -228,6 +243,7 @@ class WarmShard:
             "pool_version": self.version,
             "ci_halfwidth": halfwidth,
             "ci_relative_width": relative,
+            "pool_capped": n >= max_pool,
             "truncated": bool(selection.truncated),
         }
         self._solve_cache[key] = (self.version, response)

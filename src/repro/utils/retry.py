@@ -240,6 +240,27 @@ class RetryPolicy:
             )
             yield delay * (1.0 + self.jitter * rng.random())
 
+    def delay_for(self, retry_number: int) -> float:
+        """The delay before retry ``retry_number`` (1-based), by index.
+
+        Random access into the same deterministic schedule
+        :meth:`delays` yields — callers pacing retries across *events*
+        rather than a loop (the cluster supervisor restarting a replica
+        per crash incident) ask for the n-th delay directly instead of
+        holding an iterator. Raises once the schedule is exhausted
+        (``retry_number >= max_attempts``), mirroring the iterator
+        running dry.
+        """
+        if not 1 <= retry_number <= self.max_attempts - 1:
+            raise SolverError(
+                f"retry_number must be within [1, {self.max_attempts - 1}],"
+                f" got {retry_number}"
+            )
+        for index, delay in enumerate(self.delays(), start=1):
+            if index == retry_number:
+                return delay
+        raise AssertionError("unreachable")  # pragma: no cover
+
     def retryable(self, exc: BaseException) -> bool:
         """Whether ``exc`` is covered by ``retry_on``."""
         return isinstance(exc, self.retry_on)

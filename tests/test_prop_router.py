@@ -1,0 +1,99 @@
+"""Property-based consistent-hash stability for the cluster router.
+
+Rendezvous hashing's selling point is *minimal disruption*: the
+assignment of scenarios to replicas is a pure per-(scenario, replica)
+weight comparison, so removing one replica can only move the scenarios
+that lived on it — every other scenario's home is untouched — and
+adding it back restores exactly the original assignment. Those are the
+properties that make the supervisor's restart story cheap (a crashed
+replica's scenarios fail over; everything else stays warm where it
+was), so they are pinned here as hypothesis properties rather than
+hand-picked examples.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serving import assign_replica, rendezvous_order
+
+pytestmark = [pytest.mark.serve, pytest.mark.cluster]
+
+replica_ids = st.lists(
+    st.text(
+        alphabet=st.characters(
+            codec="ascii", categories=("L", "N"), include_characters="-_"
+        ),
+        min_size=1,
+        max_size=12,
+    ),
+    min_size=2,
+    max_size=8,
+    unique=True,
+)
+
+scenario_names = st.lists(
+    st.text(
+        alphabet=st.characters(codec="ascii", categories=("L", "N")),
+        min_size=1,
+        max_size=16,
+    ),
+    min_size=1,
+    max_size=32,
+    unique=True,
+)
+
+
+def _assignment(scenarios, replicas):
+    return {name: assign_replica(name, replicas) for name in scenarios}
+
+
+@settings(max_examples=60, deadline=None)
+@given(scenarios=scenario_names, replicas=replica_ids, data=st.data())
+def test_removing_one_replica_remaps_only_its_scenarios(
+    scenarios, replicas, data
+):
+    removed = data.draw(st.sampled_from(replicas), label="removed")
+    survivors = [rid for rid in replicas if rid != removed]
+    before = _assignment(scenarios, replicas)
+    after = _assignment(scenarios, survivors)
+    for name in scenarios:
+        if before[name] == removed:
+            # Orphaned scenarios land on their rendezvous successor —
+            # the next id in the *original* preference order.
+            order = rendezvous_order(name, replicas)
+            successor = order[order.index(removed) + 1]
+            assert after[name] == successor
+        else:
+            # Every other scenario's home is untouched.
+            assert after[name] == before[name]
+
+
+@settings(max_examples=60, deadline=None)
+@given(scenarios=scenario_names, replicas=replica_ids, data=st.data())
+def test_adding_the_replica_back_restores_the_assignment(
+    scenarios, replicas, data
+):
+    removed = data.draw(st.sampled_from(replicas), label="removed")
+    survivors = [rid for rid in replicas if rid != removed]
+    before = _assignment(scenarios, replicas)
+    # Re-adding the removed replica (in any position) restores the
+    # original assignment exactly: weights ignore list order.
+    position = data.draw(
+        st.integers(0, len(survivors)), label="reinsert-at"
+    )
+    restored = list(survivors)
+    restored.insert(position, removed)
+    assert _assignment(scenarios, restored) == before
+
+
+@settings(max_examples=60, deadline=None)
+@given(scenarios=scenario_names, replicas=replica_ids, data=st.data())
+def test_order_is_stable_under_permutation(scenarios, replicas, data):
+    shuffled = data.draw(st.permutations(replicas), label="shuffled")
+    for name in scenarios:
+        assert rendezvous_order(name, shuffled) == rendezvous_order(
+            name, replicas
+        )

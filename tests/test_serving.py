@@ -9,6 +9,7 @@ lives under the ``slow`` marker.
 
 from __future__ import annotations
 
+import http.client
 import json
 import threading
 import urllib.error
@@ -422,6 +423,60 @@ class TestHTTPServer:
         )
         assert _get(port, "/healthz")[0] == 200  # server still alive
 
+    def test_missing_content_length_is_411(self, served):
+        _, port, _ = served
+        conn = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
+        try:
+            conn.putrequest("POST", "/solve", skip_accept_encoding=True)
+            conn.endheaders()
+            response = conn.getresponse()
+            body = json.loads(response.read())
+            assert response.status == 411
+            assert "Content-Length" in body["error"]
+        finally:
+            conn.close()
+
+    def test_oversized_content_length_is_413_without_reading(self, served):
+        from repro.serving.server import MAX_BODY_BYTES
+
+        _, port, _ = served
+        conn = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
+        try:
+            conn.putrequest("POST", "/solve", skip_accept_encoding=True)
+            # Declare a giant body but never send it: the server must
+            # reject on the header alone, not block reading the body.
+            conn.putheader("Content-Length", str(MAX_BODY_BYTES + 1))
+            conn.endheaders()
+            response = conn.getresponse()
+            body = json.loads(response.read())
+            assert response.status == 413
+            assert "exceeds" in body["error"]
+        finally:
+            conn.close()
+
+    def test_malformed_content_length_is_400(self, served):
+        _, port, _ = served
+        conn = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
+        try:
+            conn.putrequest("POST", "/solve", skip_accept_encoding=True)
+            conn.putheader("Content-Length", "banana")
+            conn.endheaders()
+            response = conn.getresponse()
+            assert response.status == 400
+        finally:
+            conn.close()
+
+    def test_invalid_json_body_is_400_and_server_survives(self, served):
+        _, port, _ = served
+        conn = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
+        try:
+            conn.request("POST", "/solve", body=b"{not json")
+            response = conn.getresponse()
+            assert response.status == 400
+        finally:
+            conn.close()
+        assert _get(port, "/healthz")[0] == 200
+
     def test_status_reads_live_trace_tail(self, served):
         app, port, trace_path = served
         with JsonlSink(str(trace_path)) as sink:
@@ -516,3 +571,157 @@ def test_load_floor_200_concurrent_clients():
         server.shutdown()
         server.server_close()
         app.close()
+
+
+# ----------------------------------------------------------------------
+# Cross-width coalescing
+# ----------------------------------------------------------------------
+
+
+class TestWidthCoalescing:
+    def test_tightest_width_tracks_the_in_flight_minimum(self):
+        batcher = RequestBatcher()
+        gate = threading.Event()
+        observed = []
+
+        def leader_compute():
+            gate.wait(timeout=10)
+            observed.append(batcher.tightest_width("key"))
+            return "done"
+
+        def client(width):
+            batcher.run("key", leader_compute, width=width)
+
+        threads = [
+            threading.Thread(target=client, args=(w,))
+            for w in (0.2, 0.05, None, 0.1)
+        ]
+        for t in threads:
+            t.start()
+        for _ in range(200):
+            if batcher.in_flight() == 1:
+                break
+            threading.Event().wait(0.01)
+        # Give followers a beat to register their widths on the flight.
+        for _ in range(200):
+            with batcher._lock:
+                registered = len(batcher._flights["key"].widths)
+            if registered == 4:
+                break
+            threading.Event().wait(0.01)
+        gate.set()
+        for t in threads:
+            t.join(timeout=10)
+        assert observed == [0.05]  # min of registered, None ignored
+        assert batcher.tightest_width("key") is None  # flight done
+
+    def test_width_provider_tightens_the_top_up(self):
+        graph, communities = _instance()
+        shard = WarmShard(
+            _spec(pool_size=40), graph, communities, workers=1, round_size=40
+        )
+        with shard.lock:
+            shard.warm()
+            loose, _ = shard.solve(3, ci_width=0.5)
+            # Same loose request, but a follower registered 0.04 on the
+            # flight: the provider must drive the shared top-up.
+            tight, _ = shard.solve(
+                3, ci_width=0.45, width_provider=lambda: 0.04
+            )
+        shard.close()
+        assert loose["num_samples"] == 40  # 0.5 already satisfied warm
+        assert tight["num_samples"] > 40
+        if tight["ci_relative_width"] is not None:
+            assert (
+                tight["ci_relative_width"] <= 0.04 or tight["pool_capped"]
+            )
+
+    def test_width_provider_none_falls_back_to_own_width(self):
+        graph, communities = _instance()
+        shard = WarmShard(
+            _spec(pool_size=40), graph, communities, workers=1, round_size=40
+        )
+        with shard.lock:
+            shard.warm()
+            via_provider, _ = shard.solve(
+                5, ci_width=0.04, width_provider=lambda: None
+            )
+            shard_b = WarmShard(
+                _spec(pool_size=40),
+                graph,
+                communities,
+                workers=1,
+                round_size=40,
+            )
+        with shard_b.lock:
+            shard_b.warm()
+            direct, _ = shard_b.solve(5, ci_width=0.04)
+        shard.close()
+        shard_b.close()
+        for field in ("seeds", "objective", "num_samples"):
+            assert via_provider[field] == direct[field]
+
+    def test_plain_and_ci_width_requests_use_separate_flights(self):
+        store = _store()
+        app = ShardApp(store)
+        keys = []
+        original = app.batcher.run
+
+        def spy(key, compute, **kwargs):
+            keys.append(key)
+            return original(key, compute, **kwargs)
+
+        app.batcher.run = spy
+        try:
+            app.solve({"scenario": "planted", "budget": 4})
+            app.solve(
+                {"scenario": "planted", "budget": 4, "ci_width": 0.3}
+            )
+        finally:
+            app.close()
+        # Same query shape, but the group key splits on "has a width"
+        # — a plain query can never be stretched by a ci_width flight.
+        assert keys == [
+            ("planted", 4, "UBG", False),
+            ("planted", 4, "UBG", True),
+        ]
+
+    def test_concurrent_mixed_widths_each_answered_at_own_precision(self):
+        store = _store()
+        app = ShardApp(store)
+        widths = [None, 0.3, 0.05, None, 0.05, 0.3]
+        responses = [None] * len(widths)
+        barrier = threading.Barrier(len(widths))
+
+        def client(index, width):
+            payload = {"scenario": "planted", "budget": 4}
+            if width is not None:
+                payload["ci_width"] = width
+            barrier.wait(timeout=10)
+            responses[index] = app.solve(payload)
+
+        try:
+            threads = [
+                threading.Thread(target=client, args=(i, w))
+                for i, w in enumerate(widths)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=120)
+            assert all(r is not None for r in responses)
+            for width, response in zip(widths, responses):
+                # Pool growth stays within the adaptive ceiling.
+                assert 120 <= response["num_samples"] <= 120 * 4
+                if width is not None and (
+                    response["ci_relative_width"] is not None
+                ):
+                    # The coalescing contract: every ci_width request
+                    # is answered at its *own* precision (or the pool
+                    # hit the cap, where no answer could do better).
+                    assert (
+                        response["ci_relative_width"] <= width
+                        or response["pool_capped"]
+                    )
+        finally:
+            app.close()

@@ -129,6 +129,26 @@ def test_retry_policy_delays_are_deterministic_and_bounded():
         assert base <= delay <= base * 1.5
 
 
+def test_retry_policy_delay_for_matches_the_iterator_schedule():
+    policy = RetryPolicy(
+        max_attempts=5, base_delay=0.1, max_delay=0.5, multiplier=2.0,
+        jitter=0.5, seed=42,
+    )
+    schedule = list(policy.delays())
+    assert [policy.delay_for(i) for i in (1, 2, 3, 4)] == schedule
+    # Random access replays, it does not advance: asking twice for the
+    # same retry returns the same delay.
+    assert policy.delay_for(2) == schedule[1]
+
+
+def test_retry_policy_delay_for_rejects_out_of_schedule():
+    policy = RetryPolicy(max_attempts=3)
+    with pytest.raises(SolverError, match="retry_number"):
+        policy.delay_for(0)
+    with pytest.raises(SolverError, match="retry_number"):
+        policy.delay_for(3)  # only 2 retries exist for 3 attempts
+
+
 def test_retry_policy_call_retries_then_succeeds():
     attempts = []
     observed = []
