@@ -1,0 +1,147 @@
+#!/usr/bin/env python
+"""Lint: span names and lifecycle event types must be catalogued.
+
+Two closed vocabularies back the fleet observability plane:
+
+- ``repro.obs.tracer.SPAN_CATALOG`` — every ``trace.span("name", ...)``
+  call site under ``src/`` with a *literal* name must use a catalogued
+  name, and every catalogued name must have a call site (no stale
+  rows). The catalogue backs the span table in
+  ``docs/observability.md``.
+- ``repro.obs.events.EVENT_TYPES`` — every literal ``journal.emit(`` /
+  ``self._emit(`` event type must be a known lifecycle event, and every
+  known event must have an emit site. :class:`~repro.obs.events.
+  EventJournal` enforces the same vocabulary at runtime; this lint
+  catches the drift at review time, before a cluster run has to crash
+  on it.
+
+Usage::
+
+    python scripts/check_span_names.py          # lint, exit 1 on drift
+    python scripts/check_span_names.py --list   # dump call sites
+
+Importable pieces (used by ``tests/test_docs_consistency.py``):
+:func:`find_span_call_sites`, :func:`find_event_emit_sites` and
+:func:`check_names`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import sys
+from typing import Iterable, List, NamedTuple, Tuple
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC_ROOT = os.path.join(REPO_ROOT, "src")
+
+#: Matches ``trace.span("name"`` / ``trace.span('name'`` — literal span
+#: names only; the tracer accepts dynamic names but the serving and
+#: solver layers deliberately stick to the closed catalogue.
+SPAN_SITE = re.compile(
+    r"trace\.span\(\s*(?P<quote>['\"])(?P<name>[^'\"]+)(?P=quote)"
+)
+
+#: Matches literal event emissions: ``journal.emit("type"`` (any
+#: receiver ending in ``.emit``) and the supervisor's ``self._emit(``
+#: helper. :class:`EventJournal` raises on unknown types at runtime;
+#: the lint keeps the same check shift-left.
+EVENT_SITE = re.compile(
+    r"(?:\.emit|_emit)\(\s*(?P<quote>['\"])(?P<name>[^'\"]+)(?P=quote)"
+)
+
+
+class CallSite(NamedTuple):
+    path: str
+    line: int
+    name: str
+
+
+def _scan(pattern: re.Pattern, root: str) -> List[CallSite]:
+    sites: List[CallSite] = []
+    for dirpath, _dirnames, filenames in sorted(os.walk(root)):
+        for filename in sorted(filenames):
+            if not filename.endswith(".py"):
+                continue
+            path = os.path.join(dirpath, filename)
+            with open(path, "r", encoding="utf-8") as handle:
+                text = handle.read()
+            for match in pattern.finditer(text):
+                sites.append(
+                    CallSite(
+                        path=os.path.relpath(path, REPO_ROOT),
+                        line=text.count("\n", 0, match.start()) + 1,
+                        name=match.group("name"),
+                    )
+                )
+    return sites
+
+
+def find_span_call_sites(root: str = SRC_ROOT) -> List[CallSite]:
+    """All literal-name ``trace.span(`` call sites under ``root``."""
+    return _scan(SPAN_SITE, root)
+
+
+def find_event_emit_sites(root: str = SRC_ROOT) -> List[CallSite]:
+    """All literal-type event emit sites under ``root``."""
+    return _scan(EVENT_SITE, root)
+
+
+def check_names(
+    known: Iterable[str], sites: List[CallSite]
+) -> Tuple[List[CallSite], List[str]]:
+    """Returns ``(unknown call sites, stale catalogued names)``."""
+    known = set(known)
+    emitted = {site.name for site in sites}
+    unknown = [site for site in sites if site.name not in known]
+    stale = sorted(name for name in known if name not in emitted)
+    return unknown, stale
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--list", action="store_true", help="dump every call site found"
+    )
+    args = parser.parse_args(argv)
+
+    sys.path.insert(0, SRC_ROOT)
+    from repro.obs.events import EVENT_TYPES
+    from repro.obs.tracer import SPAN_CATALOG
+
+    failed = False
+    for label, catalog, sites in (
+        ("span", SPAN_CATALOG, find_span_call_sites()),
+        ("event", EVENT_TYPES, find_event_emit_sites()),
+    ):
+        if args.list:
+            for site in sites:
+                print(f"{site.path}:{site.line}: {label} {site.name!r}")
+        unknown, stale = check_names(catalog, sites)
+        for site in unknown:
+            print(
+                f"{site.path}:{site.line}: {label} name {site.name!r} is "
+                f"not catalogued (repro.obs."
+                f"{'tracer.SPAN_CATALOG' if label == 'span' else 'events.EVENT_TYPES'})",
+                file=sys.stderr,
+            )
+        for name in stale:
+            print(
+                f"{label} catalogue entry {name!r} has no call site under "
+                "src/ (stale — remove it and its docs/observability.md "
+                "row)",
+                file=sys.stderr,
+            )
+        if unknown or stale:
+            failed = True
+        else:
+            print(
+                f"ok: {len(sites)} {label} sites, "
+                f"{len(catalog)} catalogued, no drift"
+            )
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -262,7 +262,17 @@ def _build_parser() -> argparse.ArgumentParser:
         "path",
         help=(
             "a *.manifest.json, trace *.jsonl, or metrics JSONL "
-            "produced by --trace-out/--metrics-out"
+            "produced by --trace-out/--metrics-out — or, with "
+            "--cluster, a cluster run directory"
+        ),
+    )
+    report.add_argument(
+        "--cluster",
+        action="store_true",
+        help=(
+            "treat PATH as a cluster --run-dir and stitch its event "
+            "journals, traces, manifest and fleet metrics into one "
+            "timeline report"
         ),
     )
 
@@ -418,6 +428,24 @@ def _build_parser() -> argparse.ArgumentParser:
         type=float,
         default=1.0,
         help="cooldown before an open breaker admits a half-open probe",
+    )
+    cluster.add_argument(
+        "--run-dir",
+        default=None,
+        help=(
+            "cluster observability run directory: event journals, "
+            "per-process traces, the topology manifest and the final "
+            "fleet metrics land here (render with "
+            "'python -m repro report --cluster RUNDIR')"
+        ),
+    )
+    cluster.add_argument(
+        "--no-keepalive",
+        action="store_true",
+        help=(
+            "disable router->replica connection pooling (one fresh "
+            "connection per forward, as before PR 10)"
+        ),
     )
     _add_observability_flags(cluster)
 
@@ -754,6 +782,11 @@ def _cmd_bench(args) -> int:
 
 
 def _cmd_report(args) -> int:
+    if getattr(args, "cluster", False):
+        from repro.obs import render_cluster_report
+
+        print(render_cluster_report(args.path))
+        return 0
     from repro.obs import render_report
 
     print(render_report(args.path))
@@ -843,6 +876,8 @@ def _cmd_cluster(args) -> int:
         drain_timeout=args.drain_timeout,
         breaker_threshold=args.breaker_threshold,
         breaker_reset_seconds=args.breaker_reset_seconds,
+        run_dir=args.run_dir,
+        pool_connections=not args.no_keepalive,
     )
     return run_cluster(config)
 

@@ -46,17 +46,35 @@ from repro.obs.diagnostics import (
     pool_composition,
     pool_memory_bytes,
 )
+from repro.obs.events import (
+    EVENT_TYPES,
+    EventJournal,
+    merge_event_logs,
+    read_events,
+)
 from repro.obs.metrics import (
     CATALOG,
     DEFAULT_TIME_BUCKETS,
     MetricsRegistry,
+    histogram_quantile,
     metrics,
     to_prometheus_text,
 )
-from repro.obs.report import render_metrics, render_report
+from repro.obs.report import render_cluster_report, render_metrics, render_report
 from repro.obs.session import Recorder, disable, enable, enabled, session
 from repro.obs.sinks import JsonlSink, read_jsonl, write_jsonl
-from repro.obs.tracer import NOOP_SPAN, Span, Tracer, phase_timings, trace
+from repro.obs.tracer import (
+    NOOP_SPAN,
+    PARENT_HEADER,
+    SPAN_CATALOG,
+    TRACE_HEADER,
+    Span,
+    TraceContext,
+    Tracer,
+    new_trace_id,
+    phase_timings,
+    trace,
+)
 
 __all__ = [
     # tracer
@@ -64,6 +82,11 @@ __all__ = [
     "Tracer",
     "Span",
     "NOOP_SPAN",
+    "SPAN_CATALOG",
+    "TraceContext",
+    "TRACE_HEADER",
+    "PARENT_HEADER",
+    "new_trace_id",
     "phase_timings",
     # metrics
     "metrics",
@@ -71,6 +94,12 @@ __all__ = [
     "DEFAULT_TIME_BUCKETS",
     "CATALOG",
     "to_prometheus_text",
+    "histogram_quantile",
+    # lifecycle events
+    "EventJournal",
+    "EVENT_TYPES",
+    "read_events",
+    "merge_event_logs",
     # estimator-quality diagnostics
     "StreamingMoments",
     "ActivationTracker",
@@ -107,4 +136,5 @@ __all__ = [
     # reporting
     "render_report",
     "render_metrics",
+    "render_cluster_report",
 ]

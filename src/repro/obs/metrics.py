@@ -67,6 +67,10 @@ CATALOG: Dict[str, str] = {
     "router.requests.failed": "router requests answered with an error",
     "router.failovers": "requests re-routed to a rendezvous successor",
     "router.circuit.opened": "per-replica circuit breakers tripped open",
+    "router.trace.minted": "trace ids minted at the router front door",
+    "router.trace.adopted": "inbound trace contexts adopted by the router",
+    "serving.trace.adopted": "inbound trace contexts adopted by a replica",
+    "cluster.events.recorded": "lifecycle events appended to an event journal",
     # gauges
     "pool.coverage_entries": "inverted-index (sample, member) pairs at last compact()",
     "pool.bytes": "approximate pool memory footprint in bytes",
@@ -78,11 +82,17 @@ CATALOG: Dict[str, str] = {
     "serving.shards.active": "warm shards currently resident",
     "serving.shards.bytes": "summed resident shard footprint in bytes",
     "cluster.replicas.active": "replica processes currently healthy",
+    "cluster.scrape.replicas": "replicas successfully scraped at last aggregation",
+    "cluster.slo.p50.seconds": "fleet p50 request latency from merged histograms",
+    "cluster.slo.p95.seconds": "fleet p95 request latency from merged histograms",
+    "cluster.slo.p99.seconds": "fleet p99 request latency from merged histograms",
+    "cluster.slo.error.rate": "fleet error rate (failed / accepted requests)",
     # histograms
     "pool.reach.histogram": "reach-set size distribution",
     "pool.sources.histogram": "samples-per-source-community distribution",
     "serving.request.seconds": "shard-server solve request latency",
     "router.request.seconds": "router end-to-end solve request latency",
+    "serving.batch.wait.seconds": "follower wait for a coalesced flight's leader",
 }
 
 
@@ -165,6 +175,87 @@ class MetricsRegistry:
             hist["count"] += 1
             hist["sum"] += value
 
+    # -- aggregation ---------------------------------------------------
+
+    def merge_snapshot(self, snapshot: Dict[str, Any],
+                       source: Optional[str] = None) -> None:
+        """Merge a foreign :meth:`snapshot` document into this registry.
+
+        This is *explicit aggregation* — unlike the mutators it works
+        regardless of the instrumentation gate, because the fleet
+        aggregator merges scraped replica snapshots into a private
+        registry, not the ambient one.
+
+        Merge semantics (the fleet contract, see
+        ``docs/observability.md``):
+
+        - **counters** are summed; a negative foreign value is rejected
+          with ``ValueError`` (counters are monotone everywhere).
+        - **gauges never sum** — summing "last observed value" metrics
+          across replicas is meaningless. With ``source=None`` the
+          foreign value overwrites (last write wins); with a ``source``
+          the gauge is kept apart under the decorated name
+          ``name{replica="<source>"}``, which renders as a proper
+          Prometheus label.
+        - **histograms** merge bucket-wise, which is only sound when
+          both sides binned with identical edges — a mismatch (or a
+          malformed counts vector) raises ``ValueError`` loudly rather
+          than producing a silently wrong distribution.
+
+        Validation runs before any mutation, so a rejected snapshot
+        leaves the registry untouched.
+        """
+        counters = snapshot.get("counters") or {}
+        gauges = snapshot.get("gauges") or {}
+        histograms = snapshot.get("histograms") or {}
+        for name, value in counters.items():
+            if value < 0:
+                raise ValueError(
+                    f"cannot merge negative counter {name!r} "
+                    f"(got {value}); counters are monotone"
+                )
+        with self._lock:
+            for name, foreign in histograms.items():
+                edges = tuple(foreign.get("buckets", ()))
+                counts = list(foreign.get("counts", ()))
+                if len(counts) != len(edges) + 1:
+                    raise ValueError(
+                        f"histogram {name!r} is malformed: {len(edges)} "
+                        f"edges need {len(edges) + 1} bucket counts, "
+                        f"got {len(counts)}"
+                    )
+                mine = self._histograms.get(name)
+                if mine is not None and tuple(mine["buckets"]) != edges:
+                    raise ValueError(
+                        f"histogram {name!r} bucket edges differ — "
+                        f"mine {tuple(mine['buckets'])} vs foreign "
+                        f"{edges}; bucket-wise merge would be meaningless"
+                    )
+            for name, value in counters.items():
+                self._counters[name] = self._counters.get(name, 0) + value
+            for name, value in gauges.items():
+                key = name
+                if source is not None:
+                    key = f'{name}{{replica="{source}"}}'
+                self._gauges[key] = value
+            for name, foreign in histograms.items():
+                edges = tuple(foreign["buckets"])
+                counts = list(foreign["counts"])
+                mine = self._histograms.get(name)
+                if mine is None:
+                    self._histograms[name] = {
+                        "buckets": edges,
+                        "counts": counts,
+                        "count": int(foreign.get("count", sum(counts))),
+                        "sum": float(foreign.get("sum", 0.0)),
+                    }
+                else:
+                    mine["counts"] = [
+                        a + b for a, b in zip(mine["counts"], counts)
+                    ]
+                    mine["count"] += int(foreign.get("count", sum(counts)))
+                    mine["sum"] += float(foreign.get("sum", 0.0))
+
     # -- inspection ----------------------------------------------------
 
     def get_counter(self, name: str) -> float:
@@ -195,6 +286,31 @@ class MetricsRegistry:
             self._counters.clear()
             self._gauges.clear()
             self._histograms.clear()
+
+
+def histogram_quantile(hist: Dict[str, Any], q: float) -> float:
+    """Estimate the ``q``-quantile (0 ≤ q ≤ 1) of a snapshot histogram.
+
+    Uses Prometheus-style linear interpolation inside the bucket that
+    crosses the target rank; the first bucket interpolates from 0 and
+    anything landing in the overflow bucket clamps to the last edge
+    (the histogram carries no upper bound beyond it). Returns 0.0 for
+    an empty histogram.
+    """
+    count = int(hist.get("count", 0))
+    if count <= 0:
+        return 0.0
+    target = max(0.0, min(1.0, q)) * count
+    cumulative = 0.0
+    lower = 0.0
+    edges = hist["buckets"]
+    for edge, bucket_count in zip(edges, hist["counts"]):
+        if bucket_count and cumulative + bucket_count >= target:
+            fraction = (target - cumulative) / bucket_count
+            return lower + (float(edge) - lower) * max(0.0, min(1.0, fraction))
+        cumulative += bucket_count
+        lower = float(edge)
+    return float(edges[-1]) if edges else 0.0
 
 
 def _prom_name(name: str, suffix: str = "") -> str:
@@ -230,6 +346,10 @@ def to_prometheus_text(snapshot: Dict[str, Any]) -> str:
     ``# HELP``/``# TYPE`` headers are emitted per family, with HELP text
     drawn from :data:`CATALOG` when the name is catalogued. Output is
     sorted by family name so exports diff cleanly across runs.
+
+    Gauge names decorated by :meth:`MetricsRegistry.merge_snapshot`
+    (``name{replica="r0"}``) render as one family with per-replica
+    labelled samples, sharing a single ``# TYPE`` header.
     """
     lines = []
     families = []
@@ -239,12 +359,18 @@ def to_prometheus_text(snapshot: Dict[str, Any]) -> str:
         families.append((name, "gauge", value))
     for name, hist in snapshot.get("histograms", {}).items():
         families.append((name, "histogram", hist))
-    for name, kind, value in sorted(families):
-        family = _prom_name(name, "_total" if kind == "counter" else "")
-        help_text = CATALOG.get(name)
-        if help_text:
-            lines.append(f"# HELP {family} {help_text}")
-        lines.append(f"# TYPE {family} {kind}")
+    previous_family = None
+    for name, kind, value in sorted(
+        families, key=lambda item: (item[0].partition("{")[0], item[0])
+    ):
+        base, _, label = name.partition("{")
+        family = _prom_name(base, "_total" if kind == "counter" else "")
+        if family != previous_family:
+            help_text = CATALOG.get(base)
+            if help_text:
+                lines.append(f"# HELP {family} {help_text}")
+            lines.append(f"# TYPE {family} {kind}")
+            previous_family = family
         if kind == "histogram":
             cumulative = 0
             for edge, count in zip(value["buckets"], value["counts"]):
@@ -259,7 +385,8 @@ def to_prometheus_text(snapshot: Dict[str, Any]) -> str:
             lines.append(f"{family}_sum {_prom_value(value['sum'])}")
             lines.append(f"{family}_count {value['count']}")
         else:
-            lines.append(f"{family} {_prom_value(value)}")
+            sample = f"{family}{{{label}" if label else family
+            lines.append(f"{sample} {_prom_value(value)}")
     return "\n".join(lines) + ("\n" if lines else "")
 
 

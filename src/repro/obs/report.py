@@ -12,10 +12,13 @@ library.
 
 from __future__ import annotations
 
+import glob
 import json
-from typing import Any, Dict, List
+import os
+from typing import Any, Dict, List, Optional
 
 from repro.errors import ObservabilityError
+from repro.obs.events import merge_event_logs
 from repro.obs.manifest import MANIFEST_SCHEMA, load_manifest
 from repro.obs.sinks import read_jsonl
 from repro.obs.tracer import phase_timings
@@ -276,6 +279,218 @@ def render_metrics(records: List[Dict[str, Any]]) -> str:
     )
     lines = [f"metrics: {total} series"]
     lines.extend(_metrics_lines(snapshot))
+    return "\n".join(lines)
+
+
+#: Event keys that are envelope, not payload — everything else renders
+#: as ``key=value`` detail on the timeline line.
+_EVENT_ENVELOPE_KEYS = {"type", "event", "ts", "pid", "source"}
+
+#: Cap on rendered timeline lines (a long chaos soak can log thousands
+#: of heartbeat misses; the cap keeps reports terminal-sized).
+_TIMELINE_LIMIT = 200
+
+
+def _event_lines(events: List[Dict[str, Any]]) -> List[str]:
+    """Render merged event records as a relative-time timeline."""
+    if not events:
+        return ["  (no events recorded)"]
+    t0 = events[0].get("ts", 0.0)
+    source_width = max(
+        (len(str(e.get("source", ""))) for e in events), default=0
+    )
+    lines = []
+    shown = events[:_TIMELINE_LIMIT]
+    for event in shown:
+        offset = float(event.get("ts", t0)) - t0
+        detail = " ".join(
+            f"{key}={event[key]}"
+            for key in sorted(event)
+            if key not in _EVENT_ENVELOPE_KEYS
+        )
+        source = str(event.get("source", "")).ljust(source_width)
+        line = f"  +{offset:9.3f}s  {source}  {event.get('event', '?')}"
+        if detail:
+            line += f"  {detail}"
+        lines.append(line)
+    if len(events) > len(shown):
+        lines.append(f"  ... {len(events) - len(shown)} more events")
+    return lines
+
+
+def _event_summary_lines(events: List[Dict[str, Any]]) -> List[str]:
+    """One-line incident summary: restarts, breaker trips, misses."""
+    by_type: Dict[str, int] = {}
+    for event in events:
+        name = event.get("event", "?")
+        by_type[name] = by_type.get(name, 0) + 1
+    interesting = [
+        ("replica.killed", "kills"),
+        ("replica.respawned", "restarts"),
+        ("replica.heartbeat.missed", "heartbeat misses"),
+        ("breaker.opened", "breakers opened"),
+        ("shard.evicted", "evictions"),
+        ("server.drain.begin", "drains"),
+    ]
+    parts = [
+        f"{label}={by_type[name]}"
+        for name, label in interesting
+        if by_type.get(name)
+    ]
+    if not parts:
+        return []
+    return [f"incidents: {', '.join(parts)}"]
+
+
+def _trace_roots(
+    spans: List[Dict[str, Any]],
+) -> List[Dict[str, Any]]:
+    """Root span per trace id (the request-scoped exemplar anchors).
+
+    A root is a span whose parent is absent from its own trace — the
+    router's ``router/solve`` span normally, or the replica's
+    ``serving/request`` when only replica traces survived.
+    """
+    by_trace: Dict[str, List[Dict[str, Any]]] = {}
+    for span in spans:
+        trace_id = span.get("trace_id")
+        if trace_id:
+            by_trace.setdefault(trace_id, []).append(span)
+    roots = []
+    for trace_id, members in by_trace.items():
+        ids = {span.get("span_id") for span in members}
+        candidates = [
+            span for span in members if span.get("parent_id") not in ids
+        ]
+        if not candidates:
+            continue
+        root = max(
+            candidates, key=lambda s: float(s.get("duration_seconds", 0.0))
+        )
+        root = dict(root)
+        root["_trace_spans"] = sorted(
+            members,
+            key=lambda s: -float(s.get("duration_seconds", 0.0)),
+        )
+        roots.append(root)
+    return roots
+
+
+def _slowest_trace_lines(
+    spans: List[Dict[str, Any]], limit: int = 5
+) -> List[str]:
+    """Render the slowest end-to-end traces with per-span breakdowns."""
+    roots = sorted(
+        _trace_roots(spans),
+        key=lambda s: -float(s.get("duration_seconds", 0.0)),
+    )[:limit]
+    if not roots:
+        return ["  (no request-scoped traces recorded)"]
+    lines = []
+    for root in roots:
+        lines.append(
+            f"  {root.get('trace_id')}  "
+            f"{_fmt_seconds(float(root.get('duration_seconds', 0.0)))}  "
+            f"root={root.get('name')} status={root.get('status', '?')}"
+        )
+        for span in root["_trace_spans"][:8]:
+            if span.get("span_id") == root.get("span_id"):
+                continue
+            lines.append(
+                f"    {_fmt_seconds(float(span.get('duration_seconds', 0.0))):>10}"
+                f"  {span.get('name')}"
+                + (
+                    f" [{span.get('status')}]"
+                    if span.get("status") != "ok"
+                    else ""
+                )
+            )
+    return lines
+
+
+def _cluster_topology_lines(manifest: Optional[Dict[str, Any]]) -> List[str]:
+    """Render the cluster topology block from the cluster manifest."""
+    if not manifest:
+        return ["  (no cluster manifest found)"]
+    config = manifest.get("config") or {}
+    lines = [
+        f"  started: {manifest.get('created_at', '?')}  "
+        f"router: {config.get('router_host', '?')}:"
+        f"{config.get('router_port', '?')}"
+    ]
+    for replica in config.get("replicas") or []:
+        scenarios = ",".join(replica.get("scenarios") or [])
+        lines.append(
+            f"  replica {replica.get('replica_id', '?')}: "
+            f"port={replica.get('port', '?')} "
+            f"workers={replica.get('workers', '?')} "
+            f"scenarios=[{scenarios}]"
+        )
+    return lines
+
+
+def render_cluster_report(rundir: str) -> str:
+    """Stitch a cluster run directory into one rendered report.
+
+    Backs ``python -m repro report --cluster RUNDIR``. Reads whatever
+    the run left behind — ``cluster.manifest.json`` (topology),
+    ``events.jsonl`` plus per-replica ``*.events.jsonl`` (lifecycle
+    timeline), ``*.trace.jsonl`` from the router and every replica
+    incarnation (phase timings and slowest-trace exemplars), and
+    ``cluster.metrics.json`` (the final fleet aggregation) — and
+    tolerates any subset being absent, since a SIGKILL'd replica never
+    writes its final dumps. Raises
+    :class:`~repro.errors.ObservabilityError` when the directory has no
+    cluster artifacts at all.
+    """
+    if not os.path.isdir(rundir):
+        raise ObservabilityError(f"{rundir!r} is not a run directory")
+    manifest_path = os.path.join(rundir, "cluster.manifest.json")
+    manifest = None
+    if os.path.exists(manifest_path):
+        manifest = load_manifest(manifest_path)
+    event_paths = sorted(glob.glob(os.path.join(rundir, "*.events.jsonl")))
+    top_journal = os.path.join(rundir, "events.jsonl")
+    if os.path.exists(top_journal):
+        event_paths.insert(0, top_journal)
+    events = merge_event_logs(event_paths)
+    trace_paths = sorted(glob.glob(os.path.join(rundir, "*.trace.jsonl")))
+    spans: List[Dict[str, Any]] = []
+    for path in trace_paths:
+        spans.extend(
+            r for r in read_jsonl(path) if r.get("type") == "span"
+        )
+    metrics_path = os.path.join(rundir, "cluster.metrics.json")
+    aggregation = None
+    if os.path.exists(metrics_path):
+        with open(metrics_path, "r", encoding="utf-8") as handle:
+            aggregation = json.load(handle)
+    if manifest is None and not events and not spans and aggregation is None:
+        raise ObservabilityError(
+            f"{rundir!r} contains no cluster observability artifacts "
+            "(expected cluster.manifest.json, events.jsonl, *.trace.jsonl "
+            "or cluster.metrics.json)"
+        )
+    lines = [f"cluster run: {rundir}", "topology:"]
+    lines.extend(_cluster_topology_lines(manifest))
+    lines.extend(_event_summary_lines(events))
+    lines.append(f"timeline: {len(events)} events")
+    lines.extend(_event_lines(events))
+    lines.append(
+        f"phase timings: {len(spans)} spans from "
+        f"{len(trace_paths)} trace file(s)"
+    )
+    lines.extend(_timing_lines(phase_timings(spans)))
+    lines.append("slowest traces:")
+    lines.extend(_slowest_trace_lines(spans))
+    if aggregation is not None:
+        snapshot = aggregation.get("snapshot") or aggregation
+        replicas = aggregation.get("replicas") or {}
+        lines.append(
+            f"fleet metrics (aggregated over {len(replicas)} replica "
+            f"scrape(s)):"
+        )
+        lines.extend(_metrics_lines(snapshot))
     return "\n".join(lines)
 
 

@@ -4,7 +4,7 @@ A *span* is one named, timed phase of work::
 
     from repro.obs import trace
 
-    with trace.span("ubg/select", k=k) as span:
+    with trace.span("imc/select", k=k) as span:
         seeds = run_selection()
         span.set(num_seeds=len(seeds))
 
@@ -29,16 +29,77 @@ import itertools
 import os
 import threading
 import time
+import uuid
 from contextlib import contextmanager
-from typing import Any, Dict, Iterable, Iterator, List, Optional
+from typing import Any, Dict, Iterable, Iterator, List, NamedTuple, Optional
 
 from repro.obs import _gate
+
+#: HTTP header carrying the trace id across the router -> replica hop.
+TRACE_HEADER = "X-Repro-Trace-Id"
+
+#: HTTP header carrying the sender's open span id, which becomes the
+#: parent of the receiver's root span.
+PARENT_HEADER = "X-Repro-Parent-Span"
+
+#: Every span name the codebase may emit, with a one-line meaning.
+#: ``scripts/check_span_names.py`` lints literal-name span call sites
+#: against this catalogue (both directions), and
+#: ``tests/test_docs_consistency.py`` checks each name is documented.
+SPAN_CATALOG: Dict[str, str] = {
+    "ric/sample_many": "draw a batch of RIC samples (serial or fan-out)",
+    "ric/worker_batch": "one parallel-sampling worker's slice of a batch",
+    "imc/select": "IMC seed selection (solver dispatch)",
+    "imc/evaluate": "IMC objective evaluation of a fixed seed set",
+    "imc/estimate": "sample-average objective estimate",
+    "ubg/nu_arm": "UBG nu-greedy arm (node-greedy candidate)",
+    "ubg/c_arm": "UBG c-greedy arm (community-greedy candidate)",
+    "greedyc/select": "community-greedy baseline selection",
+    "maf/s1_communities": "MAF stage 1: community budget allocation",
+    "maf/s2_nodes": "MAF stage 2: in-community node selection",
+    "bt/select": "BT (benefit-threshold) baseline selection",
+    "mb/maf_arm": "MB arm running MAF",
+    "mb/bt_arm": "MB arm running BT",
+    "experiment/run_algorithm": "one algorithm run inside an experiment",
+    "experiment/evaluate": "common-pool evaluation of one algorithm's seeds",
+    "campaign/cell": "one (dataset, scale, algorithm) campaign cell",
+    "checkpoint/record": "campaign checkpoint write",
+    "bench/sampling": "sampling benchmark lane",
+    "bench/engine": "engine benchmark lane",
+    "router/solve": "router-side request span (one client /solve)",
+    "router/forward": "one forward attempt to a replica (failover = siblings)",
+    "serving/request": "replica-side request span (adopted trace context)",
+    "serving/compute": "batch leader's shard solve (warm + solve + cache)",
+    "serving/resolve": "follower re-solve after an unsatisfying coalesced width",
+    "serving/topup": "shard pool top-up merge rounds toward a CI-width target",
+}
 
 #: Process-global span-id counter (``itertools.count`` increments
 #: atomically under the GIL, so no lock is needed).
 _SPAN_IDS = itertools.count(1)
 
 _STACKS = threading.local()
+
+
+class TraceContext(NamedTuple):
+    """Cross-process trace context adopted by a thread.
+
+    ``trace_id`` groups every span of one client request across the
+    router and replica processes; ``parent_span_id`` is the sender's
+    open span, which re-parents the receiver's root spans.
+    """
+
+    trace_id: str
+    parent_span_id: Optional[str]
+
+
+def new_trace_id() -> str:
+    """Mint a fleet-unique trace id (32 hex chars)."""
+    return uuid.uuid4().hex
+
+
+def _context() -> Optional[TraceContext]:
+    return getattr(_STACKS, "context", None)
 
 
 def _stack() -> List[str]:
@@ -90,7 +151,15 @@ class Span:
 
     def __enter__(self) -> "Span":
         stack = _stack()
-        self.parent_id = stack[-1] if stack else None
+        if stack:
+            self.parent_id = stack[-1]
+        else:
+            # A thread-root span re-parents under an adopted remote
+            # context, so replica spans hang off the router's forward
+            # span exactly like ingested worker spans hang off the
+            # dispatch span.
+            context = _context()
+            self.parent_id = context.parent_span_id if context else None
         stack.append(self.span_id)
         self._wall = time.time()
         self._t0 = time.perf_counter()
@@ -118,6 +187,9 @@ class Span:
             "status": "ok" if exc_type is None else "error",
             "attrs": self.attrs,
         }
+        context = _context()
+        if context is not None:
+            record["trace_id"] = context.trace_id
         if exc_type is not None:
             record["error"] = f"{exc_type.__name__}: {exc}"
         self._tracer._record(record)
@@ -174,6 +246,52 @@ class Tracer:
         stack = _stack()
         return stack[-1] if stack else None
 
+    # -- cross-process trace context -----------------------------------
+
+    @contextmanager
+    def context(self, trace_id: Optional[str],
+                parent_span_id: Optional[str] = None) -> Iterator[None]:
+        """Adopt a cross-process trace context on this thread.
+
+        While active, every finished span records ``trace_id`` and
+        thread-root spans parent under ``parent_span_id`` — the HTTP
+        analogue of :meth:`ingest`'s re-parenting. Contexts nest
+        (restored on exit) and ``trace_id=None`` is a no-op, so call
+        sites can pass an optional inbound header straight through.
+        Adoption itself is not gated: it only changes what spans record,
+        and spans are already no-ops while instrumentation is off.
+        """
+        if trace_id is None:
+            yield
+            return
+        previous = _context()
+        _STACKS.context = TraceContext(trace_id, parent_span_id)
+        try:
+            yield
+        finally:
+            _STACKS.context = previous
+
+    def current_context(self) -> Optional[TraceContext]:
+        """This thread's adopted trace context, if any."""
+        return _context()
+
+    def propagation_headers(self) -> Dict[str, str]:
+        """Headers to attach to an outbound hop from this thread.
+
+        Carries the adopted trace id plus the innermost open span id as
+        the remote parent. Empty when no context is adopted.
+        """
+        context = _context()
+        if context is None:
+            return {}
+        headers = {TRACE_HEADER: context.trace_id}
+        span_id = self.current_span_id()
+        if span_id is None:
+            span_id = context.parent_span_id
+        if span_id is not None:
+            headers[PARENT_HEADER] = span_id
+        return headers
+
     def _record(self, record: Dict[str, Any]) -> None:
         with self._lock:
             self._records.append(record)
@@ -194,10 +312,14 @@ class Tracer:
             return
         if parent_id is None:
             parent_id = self.current_span_id()
+        context = _context()
         for record in records:
             if record.get("parent_id") is None and parent_id is not None:
                 record = dict(record)
                 record["parent_id"] = parent_id
+            if context is not None and "trace_id" not in record:
+                record = dict(record)
+                record["trace_id"] = context.trace_id
             self._record(record)
 
     # -- capture (worker-side) -----------------------------------------

@@ -24,7 +24,11 @@ over HTTP without re-sampling from scratch on every request:
   hashing of scenarios to replicas, per-replica circuit breakers,
   retry-with-failover;
 - :mod:`repro.serving.loadgen` — the reusable load/chaos harness the
-  serving benchmarks drive both deployments with.
+  serving benchmarks drive both deployments with;
+- :mod:`repro.serving.fleet` — the fleet observability plane's metrics
+  side: :class:`FleetMetricsAggregator` scrapes every replica's
+  ``/metrics.json``, merges the snapshots and derives ``cluster.slo.*``
+  gauges for the router's aggregated ``/metrics`` endpoint.
 
 See ``docs/serving.md`` for endpoints, the shard lifecycle, the
 eviction policy, the locking contract and the cluster topology.
@@ -38,6 +42,7 @@ from repro.serving.cluster import (
     Supervisor,
     run_cluster,
 )
+from repro.serving.fleet import FleetMetricsAggregator, derive_slo_gauges
 from repro.serving.loadgen import LoadGenerator, LoadPhase, PhaseResult
 from repro.serving.router import (
     CircuitBreaker,
@@ -54,6 +59,7 @@ from repro.serving.shards import ShardStore, WarmShard
 __all__ = [
     "CircuitBreaker",
     "ClusterConfig",
+    "FleetMetricsAggregator",
     "LoadGenerator",
     "LoadPhase",
     "PhaseResult",
@@ -71,6 +77,7 @@ __all__ = [
     "assign_replica",
     "build_instance",
     "default_scenarios",
+    "derive_slo_gauges",
     "rendezvous_order",
     "run_cluster",
     "run_server",

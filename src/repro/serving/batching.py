@@ -21,7 +21,10 @@ shared flight did not reach (see :meth:`repro.serving.server.ShardApp.solve`).
 from __future__ import annotations
 
 import threading
+import time
 from typing import Any, Callable, Dict, Hashable, List, Optional, Tuple
+
+from repro.obs import metrics
 
 #: Sentinel distinguishing "no width supplied" from an explicit ``None``
 #: (``None`` is a meaningful registration: no CI requirement).
@@ -85,7 +88,11 @@ class RequestBatcher:
             if width is not _UNSET:
                 flight.widths.append(width)
         if not leader:
+            waited = time.perf_counter()
             flight.done.wait()
+            metrics.observe(
+                "serving.batch.wait.seconds", time.perf_counter() - waited
+            )
             if flight.error is not None:
                 raise flight.error
             return flight.result, False

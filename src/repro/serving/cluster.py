@@ -30,6 +30,7 @@ router-level failover and restart invisible to clients beyond latency.
 from __future__ import annotations
 
 import http.client
+import json
 import multiprocessing
 import os
 import signal
@@ -40,8 +41,11 @@ import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.errors import ClusterError
 from repro.obs import metrics
+from repro.obs.events import EventJournal
+from repro.obs.manifest import build_manifest, write_manifest
 from repro.serving.router import (
     ReplicaEndpoint,
     RouterApp,
@@ -83,6 +87,11 @@ class ReplicaConfig:
     drain_timeout: float = 10.0
     sampler_retry: Optional[RetryPolicy] = None
     fault_injector: Optional[FaultInjector] = None
+    #: Cluster run directory. When set, the replica opens its own obs
+    #: session (pid-stamped trace/metrics files — every incarnation of
+    #: a restarted replica keeps its own artifacts) and streams
+    #: lifecycle events to ``replica-<id>.events.jsonl``.
+    run_dir: Optional[str] = None
 
 
 @dataclass(frozen=True)
@@ -121,6 +130,14 @@ class ClusterConfig:
     sampler_retry: Optional[RetryPolicy] = None
     fault_injector: Optional[FaultInjector] = None
     router_fault_injector: Optional[FaultInjector] = None
+    #: When set, the cluster persists its observability artifacts here:
+    #: ``events.jsonl`` (cluster/supervisor lifecycle), per-replica
+    #: event and trace/metrics files, ``cluster.manifest.json`` and the
+    #: final ``cluster.metrics.json`` aggregation — the inputs of
+    #: ``python -m repro report --cluster RUNDIR``.
+    run_dir: Optional[str] = None
+    #: Keep-alive connection pooling on the router→replica hop.
+    pool_connections: bool = True
 
     def __post_init__(self) -> None:
         if not self.scenarios:
@@ -165,6 +182,35 @@ def _replica_main(config: ReplicaConfig) -> None:
             os.setpgrp()
         except OSError:
             pass
+    journal: Optional[EventJournal] = None
+    owns_session = False
+    if config.run_dir:
+        journal = EventJournal(
+            os.path.join(
+                config.run_dir, f"replica-{config.replica_id}.events.jsonl"
+            ),
+            source=f"replica-{config.replica_id}",
+        )
+        if not obs.enabled():
+            # Pid-stamped artifact names: a restarted replica is a new
+            # process, and JsonlSink truncates on open — without the pid
+            # each incarnation would clobber its predecessor's trace.
+            prefix = os.path.join(
+                config.run_dir,
+                f"replica-{config.replica_id}-{os.getpid()}",
+            )
+            obs.enable(
+                trace_out=prefix + ".trace.jsonl",
+                metrics_out=prefix + ".metrics.jsonl",
+            )
+            owns_session = True
+    on_evict = None
+    if journal is not None:
+        replica_journal = journal
+
+        def on_evict(name: str) -> None:
+            replica_journal.emit("shard.evicted", scenario=name)
+
     store = ShardStore(
         config.scenarios,
         config.instances,
@@ -173,16 +219,20 @@ def _replica_main(config: ReplicaConfig) -> None:
         memory_budget_bytes=config.memory_budget_bytes,
         retry=config.sampler_retry,
         fault_injector=config.fault_injector,
+        on_evict=on_evict,
     )
     app = ShardApp(store, default_solver=config.default_solver)
     server = ShardHTTPServer((config.host, config.port), app)
 
     def _drain(signum, frame) -> None:
-        threading.Thread(
-            target=server.drain,
-            args=(config.drain_timeout,),
-            daemon=True,
-        ).start()
+        def _run() -> None:
+            if journal is not None:
+                journal.emit("server.drain.begin", port=config.port)
+            server.drain(config.drain_timeout)
+            if journal is not None:
+                journal.emit("server.drain.end", port=config.port)
+
+        threading.Thread(target=_run, daemon=True).start()
 
     signal.signal(signal.SIGTERM, _drain)
     try:
@@ -191,10 +241,18 @@ def _replica_main(config: ReplicaConfig) -> None:
                 shard = store.get(name)
                 with shard.lock:
                     shard.warm()
+        if journal is not None:
+            journal.emit(
+                "server.started", port=config.port, warm=config.warm
+            )
         server.serve_forever()
     finally:
         server.server_close()
         app.close()
+        if owns_session:
+            obs.disable()
+        if journal is not None:
+            journal.close()
     sys.exit(0)
 
 
@@ -278,6 +336,16 @@ class Supervisor:
         #: cluster benchmark asserts restart-within-backoff-bound from
         #: these entries.
         self.restart_log: List[Dict[str, object]] = []
+        #: Cluster event journal (set by :class:`ServingCluster` before
+        #: :meth:`start` when the config has a ``run_dir``). Lifecycle
+        #: transitions stream here via :meth:`_emit`.
+        self.journal: Optional[EventJournal] = None
+
+    def _emit(self, event: str, **attrs: object) -> None:
+        """Emit one lifecycle event if a journal is attached."""
+        journal = self.journal
+        if journal is not None:
+            journal.emit(event, **attrs)
 
     # -- lifecycle ------------------------------------------------------
 
@@ -297,6 +365,12 @@ class Supervisor:
             state = _ReplicaState(f"r{index}", port)
             self._replicas[state.replica_id] = state
             state.process = self._spawn(state)
+            self._emit(
+                "replica.spawned",
+                replica=state.replica_id,
+                port=port,
+                child_pid=state.process.pid,
+            )
         deadline = time.monotonic() + self.config.startup_timeout
         for state in self._replicas.values():
             if not self._await_healthy(state, deadline):
@@ -326,6 +400,7 @@ class Supervisor:
             drain_timeout=self.config.drain_timeout,
             sampler_retry=self.config.sampler_retry,
             fault_injector=self.config.fault_injector,
+            run_dir=self.config.run_dir,
         )
         process = self._ctx.Process(
             target=_replica_main,
@@ -343,6 +418,11 @@ class Supervisor:
                 with self._lock:
                     state.healthy = True
                     state.misses = 0
+                self._emit(
+                    "replica.healthy",
+                    replica=state.replica_id,
+                    port=state.port,
+                )
                 return True
             process = state.process
             if process is not None and not process.is_alive():
@@ -384,6 +464,7 @@ class Supervisor:
                 process.join(timeout=2.0)
             with self._lock:
                 state.healthy = False
+            self._emit("replica.stopped", replica=state.replica_id)
         metrics.set_gauge("cluster.replicas.active", 0)
 
     # -- monitoring -----------------------------------------------------
@@ -412,10 +493,23 @@ class Supervisor:
         metrics.inc("cluster.heartbeat.failures")
         with self._lock:
             state.misses += 1
+            misses = state.misses
             crashed = dead or state.misses >= self.config.heartbeat_failures
             if crashed:
                 state.healthy = False
                 state.restarting = True
+        self._emit(
+            "replica.heartbeat.missed",
+            replica=state.replica_id,
+            misses=misses,
+            process_dead=dead,
+        )
+        if crashed:
+            self._emit(
+                "replica.crash.detected",
+                replica=state.replica_id,
+                process_dead=dead,
+            )
         if crashed and not self._stop.is_set():
             thread = threading.Thread(
                 target=self._restart_incident,
@@ -460,6 +554,13 @@ class Supervisor:
             self.restart_log.append(entry)
             state.process = self._spawn(state)
             metrics.inc("cluster.replica.restarts")
+            self._emit(
+                "replica.respawned",
+                replica=state.replica_id,
+                attempt=attempt,
+                delay=delay,
+                child_pid=state.process.pid,
+            )
             deadline = time.monotonic() + self.config.startup_timeout
             if self._await_healthy(state, deadline):
                 entry["healthy_at"] = time.monotonic()
@@ -474,6 +575,11 @@ class Supervisor:
         with self._lock:
             state.failed = True
             state.restarting = False
+        self._emit(
+            "replica.restart.failed",
+            replica=state.replica_id,
+            attempts=policy.max_attempts - 1,
+        )
 
     def _set_active_gauge(self) -> None:
         with self._lock:
@@ -541,11 +647,23 @@ class Supervisor:
                 process.kill()
         except (OSError, ProcessLookupError):
             process.kill()
+        self._emit("replica.killed", replica=replica_id, child_pid=pid)
         return pid
 
 
 class ServingCluster:
-    """Supervisor + router, managed as one unit (context manager)."""
+    """Supervisor + router, managed as one unit (context manager).
+
+    With ``config.run_dir`` set the cluster additionally runs the fleet
+    observability plane: a cluster-level :class:`EventJournal` shared
+    by the supervisor (lifecycle events) and the router (breaker
+    events), an obs session in the router process (opened only when the
+    caller has not already opened one — sessions are per-process and
+    exclusive), a ``cluster.manifest.json`` topology record at start,
+    and a final ``cluster.metrics.json`` fleet aggregation written at
+    stop *before* the replicas go away (a dead replica cannot answer a
+    scrape).
+    """
 
     def __init__(self, config: ClusterConfig) -> None:
         self.config = config
@@ -556,8 +674,12 @@ class ServingCluster:
             breaker_reset_seconds=config.breaker_reset_seconds,
             forward_timeout=config.forward_timeout,
             fault_injector=config.router_fault_injector,
+            pool_connections=config.pool_connections,
+            supervisor_status=self.supervisor.status,
         )
         self.router_server: Optional[RouterHTTPServer] = None
+        self.journal: Optional[EventJournal] = None
+        self._owns_session = False
 
     @property
     def router_address(self) -> Tuple[str, int]:
@@ -568,18 +690,81 @@ class ServingCluster:
 
     def start(self) -> "ServingCluster":
         """Spawn the fleet, then open the router front door."""
+        run_dir = self.config.run_dir
+        if run_dir:
+            os.makedirs(run_dir, exist_ok=True)
+            self.journal = EventJournal(
+                os.path.join(run_dir, "events.jsonl"), source="cluster"
+            )
+            self.supervisor.journal = self.journal
+            self.router_app.journal = self.journal
+            if not obs.enabled():
+                obs.enable(
+                    trace_out=os.path.join(run_dir, "router.trace.jsonl")
+                )
+                self._owns_session = True
         self.supervisor.start()
         self.router_server = start_router_server(
             self.router_app, self.config.host, self.config.router_port
         )
+        if self.journal is not None:
+            host, port = self.router_address
+            self._write_cluster_manifest(run_dir, host, port)
+            self.journal.emit(
+                "cluster.started",
+                router_port=port,
+                replicas=self.config.replicas,
+            )
         return self
+
+    def _write_cluster_manifest(
+        self, run_dir: str, host: str, port: int
+    ) -> None:
+        endpoints = self.supervisor.endpoints()
+        topology = {
+            "router_host": host,
+            "router_port": port,
+            "pool_connections": self.config.pool_connections,
+            "replicas": [
+                {
+                    "replica_id": endpoint.replica_id,
+                    "port": endpoint.port,
+                    "workers": self.config.workers,
+                    "scenarios": sorted(self.config.scenarios),
+                }
+                for endpoint in endpoints
+            ],
+        }
+        manifest = build_manifest(command="cluster", config=topology)
+        write_manifest(
+            manifest, os.path.join(run_dir, "cluster.manifest.json")
+        )
 
     def stop(self) -> None:
         """Drain the router, then stop the fleet (idempotent)."""
+        if self.journal is not None and self.router_server is not None:
+            # Final fleet sweep while every surviving replica can still
+            # answer a scrape; the aggregation document is the report's
+            # "fleet metrics" section.
+            document = self.router_app.fleet.aggregate(force=True)
+            path = os.path.join(self.config.run_dir, "cluster.metrics.json")
+            with open(path, "w", encoding="utf-8") as handle:
+                json.dump(document, handle, indent=2, sort_keys=True)
+                handle.write("\n")
         if self.router_server is not None:
             self.router_server.drain(self.config.drain_timeout)
             self.router_server = None
         self.supervisor.stop()
+        self.router_app.close_pools()
+        if self.journal is not None:
+            self.journal.emit("cluster.stopped")
+            self.journal.close()
+            self.journal = None
+            self.supervisor.journal = None
+            self.router_app.journal = None
+        if self._owns_session:
+            obs.disable()
+            self._owns_session = False
 
     def __enter__(self) -> "ServingCluster":
         return self.start()

@@ -96,10 +96,35 @@ class PhaseResult:
     latencies: List[float] = field(default_factory=list)
     errors: List[str] = field(default_factory=list)
     duration_seconds: float = 0.0
+    #: ``X-Repro-Trace-Id`` response header per request (``None`` when
+    #: the response carried none — an un-instrumented server, or a
+    #: transport error). The chaos floors assert
+    #: :meth:`traceability` ``== 1.0``: every answer attributable to
+    #: one distributed trace.
+    trace_ids: List[Optional[str]] = field(default_factory=list)
+    #: ``Server-Timing`` response header per request (phase breakdown
+    #: like ``parse;dur=0.1, compute;dur=12.3, router;dur=13.0``).
+    server_timings: List[Optional[str]] = field(default_factory=list)
 
     def statuses(self) -> List[int]:
         """The HTTP status of every answered request."""
         return [status for status, _ in self.responses]
+
+    def traceability(self) -> float:
+        """Fraction of *answered* requests carrying a trace id.
+
+        Only answered requests count (a request lost to a transport
+        error has no response to carry a header); a phase with no
+        answers at all is 0.0-traceable by definition.
+        """
+        answered = [
+            trace_id
+            for (status, _), trace_id in zip(self.responses, self.trace_ids)
+            if status != 0
+        ]
+        if not answered:
+            return 0.0
+        return sum(1 for t in answered if t) / len(answered)
 
     def percentiles(self) -> Dict[str, float]:
         """p50/p95/p99 request latency in seconds."""
@@ -163,7 +188,9 @@ class LoadGenerator:
         self.port = port
         self.timeout = timeout
 
-    def _post(self, payload: Dict) -> Tuple[int, bytes]:
+    def _post(
+        self, payload: Dict
+    ) -> Tuple[int, bytes, Optional[str], Optional[str]]:
         conn = http.client.HTTPConnection(
             self.host, self.port, timeout=self.timeout
         )
@@ -175,7 +202,12 @@ class LoadGenerator:
                 headers={"Content-Type": "application/json"},
             )
             response = conn.getresponse()
-            return response.status, response.read()
+            return (
+                response.status,
+                response.read(),
+                response.getheader("X-Repro-Trace-Id"),
+                response.getheader("Server-Timing"),
+            )
         finally:
             conn.close()
 
@@ -193,6 +225,8 @@ class LoadGenerator:
         result = PhaseResult(phase=phase.name, queries=queries)
         result.responses = [(0, b"")] * len(queries)
         result.latencies = [0.0] * len(queries)
+        result.trace_ids = [None] * len(queries)
+        result.server_timings = [None] * len(queries)
         completed = 0
         chaos_fired = phase.chaos is None
         lock = threading.Lock()
@@ -204,8 +238,10 @@ class LoadGenerator:
             nonlocal completed, chaos_fired
             began = time.perf_counter()
             try:
-                status, body = self._post(queries[index])
+                status, body, trace_id, timing = self._post(queries[index])
                 result.responses[index] = (status, body)
+                result.trace_ids[index] = trace_id
+                result.server_timings[index] = timing
             except (OSError, http.client.HTTPException) as exc:
                 with lock:
                     result.errors.append(f"{queries[index]}: {exc}")

@@ -37,8 +37,11 @@ from typing import Callable, Dict, Iterable, List, NamedTuple, Optional, Tuple
 from hashlib import sha256
 
 from repro.errors import ClusterError, ServingError
-from repro.obs import metrics
+from repro.obs import metrics, trace
+from repro.obs.events import EventJournal
 from repro.obs.metrics import to_prometheus_text
+from repro.obs.tracer import PARENT_HEADER, TRACE_HEADER, new_trace_id
+from repro.serving.fleet import FleetMetricsAggregator
 from repro.serving.server import (
     GracefulHTTPServer,
     RequestRejected,
@@ -102,6 +105,10 @@ class CircuitBreaker:
     cooldown. The clock is injectable so tests drive transitions
     without sleeping. Thread-safe: the router's handler threads call
     :meth:`allow` / :meth:`record_failure` concurrently.
+
+    ``on_transition`` (if given) is called with the new state name
+    after every state *change*, outside the breaker lock — the router
+    uses it to stream ``breaker.*`` events to the cluster journal.
     """
 
     def __init__(
@@ -109,6 +116,7 @@ class CircuitBreaker:
         failure_threshold: int = 3,
         reset_seconds: float = 1.0,
         clock: Callable[[], float] = time.monotonic,
+        on_transition: Optional[Callable[[str], None]] = None,
     ) -> None:
         if failure_threshold < 1:
             raise ClusterError(
@@ -120,6 +128,7 @@ class CircuitBreaker:
             )
         self.failure_threshold = failure_threshold
         self.reset_seconds = reset_seconds
+        self.on_transition = on_transition
         self._clock = clock
         self._lock = threading.Lock()
         self._state = "closed"
@@ -127,20 +136,31 @@ class CircuitBreaker:
         self._opened_at = 0.0
         self._probing = False
 
+    def _notify(self, state: str) -> None:
+        # Called outside self._lock so a slow observer (journal write)
+        # never blocks breaker decisions on other threads.
+        if self.on_transition is not None:
+            self.on_transition(state)
+
     def state(self) -> str:
         """Current state name (``closed`` / ``open`` / ``half-open``)."""
         with self._lock:
-            self._maybe_half_open()
-            return self._state
+            transitioned = self._maybe_half_open()
+            state = self._state
+        if transitioned:
+            self._notify(state)
+        return state
 
-    def _maybe_half_open(self) -> None:
-        # Requires self._lock.
+    def _maybe_half_open(self) -> bool:
+        # Requires self._lock; returns True when the state changed.
         if (
             self._state == "open"
             and self._clock() - self._opened_at >= self.reset_seconds
         ):
             self._state = "half-open"
             self._probing = False
+            return True
+        return False
 
     def allow(self) -> bool:
         """Whether a request may be sent to this replica right now.
@@ -150,20 +170,28 @@ class CircuitBreaker:
         outcome is recorded.
         """
         with self._lock:
-            self._maybe_half_open()
-            if self._state == "closed":
-                return True
-            if self._state == "half-open" and not self._probing:
+            transitioned = self._maybe_half_open()
+            state = self._state
+            if state == "closed":
+                admitted = True
+            elif state == "half-open" and not self._probing:
                 self._probing = True
-                return True
-            return False
+                admitted = True
+            else:
+                admitted = False
+        if transitioned:
+            self._notify(state)
+        return admitted
 
     def record_success(self) -> None:
         """A forward succeeded: reset failures, close the breaker."""
         with self._lock:
+            transitioned = self._state != "closed"
             self._state = "closed"
             self._failures = 0
             self._probing = False
+        if transitioned:
+            self._notify("closed")
 
     def record_failure(self) -> bool:
         """A forward failed; returns ``True`` if this *opened* the breaker.
@@ -177,15 +205,57 @@ class CircuitBreaker:
                 self._state = "open"
                 self._opened_at = self._clock()
                 self._probing = False
-                return True
-            self._failures += 1
-            if self._state == "closed" and (
-                self._failures >= self.failure_threshold
-            ):
-                self._state = "open"
-                self._opened_at = self._clock()
-                return True
-            return False
+                opened = True
+            else:
+                self._failures += 1
+                opened = self._state == "closed" and (
+                    self._failures >= self.failure_threshold
+                )
+                if opened:
+                    self._state = "open"
+                    self._opened_at = self._clock()
+        if opened:
+            self._notify("open")
+        return opened
+
+
+class _ReplicaPool:
+    """Idle keep-alive connections to one replica (bounded LIFO).
+
+    LIFO keeps the hottest connection hottest; connections beyond
+    ``size`` close instead of parking. The pool never validates an
+    idle connection — staleness (replica restarted, server-side idle
+    timeout) surfaces as a send/read error, which the router retries
+    once on a fresh connection before charging the breaker.
+    """
+
+    __slots__ = ("size", "_idle", "_lock")
+
+    def __init__(self, size: int) -> None:
+        self.size = size
+        self._idle: List[http.client.HTTPConnection] = []
+        self._lock = threading.Lock()
+
+    def acquire(self) -> Optional[http.client.HTTPConnection]:
+        with self._lock:
+            return self._idle.pop() if self._idle else None
+
+    def release(self, conn: http.client.HTTPConnection) -> None:
+        with self._lock:
+            if len(self._idle) < self.size:
+                self._idle.append(conn)
+                return
+        conn.close()
+
+    def idle(self) -> int:
+        with self._lock:
+            return len(self._idle)
+
+    def close(self) -> None:
+        with self._lock:
+            idle, self._idle = self._idle, []
+        for conn in idle:
+            conn.close()
 
 
 class RouterApp:
@@ -195,6 +265,13 @@ class RouterApp:
     :class:`ReplicaEndpoint` list — the supervisor's live view, so a
     restarted replica rejoins routing the moment its health flips back
     without the router holding a reference into supervisor internals.
+
+    Observability wiring (all optional): ``journal`` receives
+    ``breaker.*`` transition events; ``supervisor_status`` (a callable)
+    folds the supervisor's restart/incident view into ``/status``; the
+    :class:`~repro.serving.fleet.FleetMetricsAggregator` behind
+    ``/metrics`` is always constructed, so even a single-replica router
+    serves the fleet view.
     """
 
     def __init__(
@@ -205,15 +282,28 @@ class RouterApp:
         breaker_reset_seconds: float = 1.0,
         forward_timeout: float = 300.0,
         fault_injector: Optional[FaultInjector] = None,
+        pool_connections: bool = True,
+        pool_size: int = 8,
+        journal: Optional[EventJournal] = None,
+        supervisor_status: Optional[Callable[[], Dict]] = None,
+        scrape_cache_seconds: float = 1.0,
     ) -> None:
         self.replicas = replicas
         self.breaker_threshold = breaker_threshold
         self.breaker_reset_seconds = breaker_reset_seconds
         self.forward_timeout = forward_timeout
         self.faults = fault_injector
+        self.pool_connections = pool_connections
+        self.pool_size = pool_size
+        self.journal = journal
+        self.supervisor_status = supervisor_status
+        self.fleet = FleetMetricsAggregator(
+            replicas, cache_seconds=scrape_cache_seconds
+        )
         self.started = time.monotonic()
         self._lock = threading.Lock()
         self._breakers: Dict[str, CircuitBreaker] = {}
+        self._pools: Dict[str, _ReplicaPool] = {}
         self.counters = {"routed": 0, "failovers": 0, "failed": 0}
 
     # -- bookkeeping ----------------------------------------------------
@@ -224,9 +314,38 @@ class RouterApp:
             breaker = self._breakers.get(replica_id)
             if breaker is None:
                 breaker = self._breakers[replica_id] = CircuitBreaker(
-                    self.breaker_threshold, self.breaker_reset_seconds
+                    self.breaker_threshold,
+                    self.breaker_reset_seconds,
+                    on_transition=lambda state, rid=replica_id: (
+                        self._breaker_event(rid, state)
+                    ),
                 )
             return breaker
+
+    def _breaker_event(self, replica_id: str, state: str) -> None:
+        journal = self.journal
+        if journal is None:
+            return
+        if state == "open":
+            journal.emit("breaker.opened", replica=replica_id)
+        elif state == "half-open":
+            journal.emit("breaker.half_open", replica=replica_id)
+        else:
+            journal.emit("breaker.closed", replica=replica_id)
+
+    def _pool(self, replica_id: str) -> _ReplicaPool:
+        with self._lock:
+            pool = self._pools.get(replica_id)
+            if pool is None:
+                pool = self._pools[replica_id] = _ReplicaPool(self.pool_size)
+            return pool
+
+    def close_pools(self) -> None:
+        """Close every idle pooled connection (router shutdown)."""
+        with self._lock:
+            pools = list(self._pools.values())
+        for pool in pools:
+            pool.close()
 
     def _count(self, field: str) -> None:
         with self._lock:
@@ -239,32 +358,64 @@ class RouterApp:
         return {"status": "ok"}
 
     def status(self) -> Dict[str, object]:
-        """Routing snapshot: replicas, breaker states, counters."""
+        """Fleet-truth snapshot: one curl answers "is the cluster ok".
+
+        Per replica: supervisor health, breaker state, idle pooled
+        connections and the age of the last successful metrics scrape;
+        plus router counters, pooling config and — when wired by
+        :class:`~repro.serving.cluster.ServingCluster` — the
+        supervisor's own restart/incident view.
+        """
         endpoints = self.replicas()
         with self._lock:
             counters = dict(self.counters)
             breakers = {
-                rid: breaker.state()
-                for rid, breaker in self._breakers.items()
+                rid: breaker for rid, breaker in self._breakers.items()
             }
-        return {
+            pools = dict(self._pools)
+        payload: Dict[str, object] = {
             "replicas": [
                 {
                     "replica_id": ep.replica_id,
                     "host": ep.host,
                     "port": ep.port,
                     "healthy": ep.healthy,
-                    "breaker": breakers.get(ep.replica_id, "closed"),
+                    "breaker": (
+                        breakers[ep.replica_id].state()
+                        if ep.replica_id in breakers
+                        else "closed"
+                    ),
+                    "pooled_connections": (
+                        pools[ep.replica_id].idle()
+                        if ep.replica_id in pools
+                        else 0
+                    ),
+                    "last_scrape_age_seconds": self.fleet.scrape_age(
+                        ep.replica_id
+                    ),
                 }
                 for ep in endpoints
             ],
             "requests": counters,
             "uptime_seconds": time.monotonic() - self.started,
+            "connection_pooling": {
+                "enabled": self.pool_connections,
+                "pool_size": self.pool_size,
+            },
         }
+        if self.supervisor_status is not None:
+            payload["supervisor"] = self.supervisor_status()
+        return payload
 
     def prometheus(self) -> str:
-        """Prometheus text exposition of the router process registry."""
-        return to_prometheus_text(metrics.snapshot())
+        """Prometheus text exposition of the *fleet*: the router's own
+        registry merged with every scraped replica snapshot, plus the
+        derived ``cluster.slo.*`` gauges."""
+        return to_prometheus_text(self.fleet.aggregate()["snapshot"])
+
+    def metrics_json(self) -> Dict[str, object]:
+        """The full aggregation document (``GET /metrics.json``)."""
+        return self.fleet.aggregate()
 
     # -- routing --------------------------------------------------------
 
@@ -289,86 +440,194 @@ class RouterApp:
         return available if available else ranked
 
     def route_solve(self, payload: Dict) -> Tuple[int, bytes]:
+        """Back-compat entry: :meth:`handle_solve` minus the headers."""
+        status, response, _headers = self.handle_solve(payload)
+        return status, response
+
+    def handle_solve(
+        self, payload: Dict, inbound_headers=None
+    ) -> Tuple[int, bytes, Dict[str, str]]:
         """Forward one ``/solve`` to its home replica, failing over.
 
-        Returns ``(status, body_bytes)`` with the winning replica's
-        response bytes untouched. Candidates are tried in rendezvous
-        order; a connection error or 5xx records a breaker failure and
-        moves on (4xx is the *client's* fault — it is returned as-is
-        and charged to no replica). When every candidate fails, the
-        answer is a 503 carrying the per-replica error detail.
+        Returns ``(status, body_bytes, response_headers)`` with the
+        winning replica's response bytes untouched — trace id and the
+        ``Server-Timing`` breakdown travel as *headers* precisely so the
+        body stays byte-identical with observability on or off.
+        Candidates are tried in rendezvous order; a connection error or
+        5xx records a breaker failure and moves on (4xx is the
+        *client's* fault — it is returned as-is and charged to no
+        replica). When every candidate fails, the answer is a 503
+        carrying the per-replica error detail.
+
+        Trace contract: the router adopts an inbound ``X-Repro-Trace-Id``
+        (or mints one), opens a ``router/solve`` span, and every forward
+        attempt is a sibling ``router/forward`` span whose id rides the
+        ``X-Repro-Parent-Span`` header — so a failover's retries share
+        one trace id and re-parent the replica-side spans correctly.
         """
         began = time.perf_counter()
         metrics.inc("router.requests.total")
         scenario = payload.get("scenario") if isinstance(payload, dict) else None
         if not isinstance(scenario, str) or not scenario:
             raise ServingError("solve payload needs a 'scenario' string")
+        inbound = inbound_headers or {}
+        trace_id = inbound.get(TRACE_HEADER) or None
+        if trace_id is None:
+            trace_id = new_trace_id()
+            metrics.inc("router.trace.minted")
+        else:
+            metrics.inc("router.trace.adopted")
+        remote_parent = inbound.get(PARENT_HEADER) or None
         body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        with trace.context(trace_id, remote_parent):
+            with trace.span("router/solve", scenario=scenario):
+                status, response, replica_headers = self._route(
+                    scenario, body
+                )
+        elapsed = time.perf_counter() - began
+        metrics.observe("router.request.seconds", elapsed)
+        headers = {TRACE_HEADER: trace_id}
+        router_timing = f"router;dur={elapsed * 1e3:.3f}"
+        upstream_timing = _header(replica_headers, "Server-Timing")
+        headers["Server-Timing"] = (
+            f"{upstream_timing}, {router_timing}"
+            if upstream_timing
+            else router_timing
+        )
+        return status, response, headers
+
+    def _route(
+        self, scenario: str, body: bytes
+    ) -> Tuple[int, bytes, Dict[str, str]]:
+        """The candidate loop: try, charge breakers, fail over."""
         candidates = self.candidates(scenario)
         if not candidates:
             metrics.inc("router.requests.failed")
             self._count("failed")
-            return 503, json.dumps(
-                {"error": "no replicas available"}
-            ).encode("utf-8")
+            return (
+                503,
+                json.dumps({"error": "no replicas available"}).encode(
+                    "utf-8"
+                ),
+                {},
+            )
         errors: List[str] = []
-        try:
-            for attempt, endpoint in enumerate(candidates):
-                if attempt > 0:
-                    self._count("failovers")
-                    metrics.inc("router.failovers")
-                breaker = self.breaker(endpoint.replica_id)
-                try:
+        for attempt, endpoint in enumerate(candidates):
+            if attempt > 0:
+                self._count("failovers")
+                metrics.inc("router.failovers")
+            breaker = self.breaker(endpoint.replica_id)
+            try:
+                with trace.span(
+                    "router/forward",
+                    replica=endpoint.replica_id,
+                    attempt=attempt,
+                ):
                     if self.faults is not None:
                         self.faults.fire(
                             FORWARD_SITE, replica=endpoint.replica_id
                         )
-                    status, response = self._forward(endpoint, body)
-                except (OSError, http.client.HTTPException) as exc:
-                    if breaker.record_failure():
-                        metrics.inc("router.circuit.opened")
-                    errors.append(f"{endpoint.replica_id}: {exc}")
-                    continue
-                if status >= 500:
-                    if breaker.record_failure():
-                        metrics.inc("router.circuit.opened")
-                    errors.append(
-                        f"{endpoint.replica_id}: HTTP {status}"
+                    status, replica_headers, response = self._forward(
+                        endpoint, body, trace.propagation_headers()
                     )
-                    continue
-                breaker.record_success()
-                self._count("routed")
-                if status >= 400:
-                    metrics.inc("router.requests.failed")
-                return status, response
-            metrics.inc("router.requests.failed")
-            self._count("failed")
-            return 503, json.dumps(
+            except (OSError, http.client.HTTPException) as exc:
+                if breaker.record_failure():
+                    metrics.inc("router.circuit.opened")
+                errors.append(f"{endpoint.replica_id}: {exc}")
+                continue
+            if status >= 500:
+                if breaker.record_failure():
+                    metrics.inc("router.circuit.opened")
+                errors.append(f"{endpoint.replica_id}: HTTP {status}")
+                continue
+            breaker.record_success()
+            self._count("routed")
+            if status >= 400:
+                metrics.inc("router.requests.failed")
+            return status, response, replica_headers
+        metrics.inc("router.requests.failed")
+        self._count("failed")
+        return (
+            503,
+            json.dumps(
                 {"error": "all replicas failed", "detail": errors}
-            ).encode("utf-8")
-        finally:
-            metrics.observe(
-                "router.request.seconds", time.perf_counter() - began
-            )
+            ).encode("utf-8"),
+            {},
+        )
 
-    def _forward(
-        self, endpoint: ReplicaEndpoint, body: bytes
-    ) -> Tuple[int, bytes]:
-        """POST ``body`` to one replica's ``/solve``; return its answer."""
-        conn = http.client.HTTPConnection(
+    def _connect(self, endpoint: ReplicaEndpoint) -> http.client.HTTPConnection:
+        return http.client.HTTPConnection(
             endpoint.host, endpoint.port, timeout=self.forward_timeout
         )
+
+    def _roundtrip(
+        self,
+        conn: http.client.HTTPConnection,
+        body: bytes,
+        extra_headers: Dict[str, str],
+    ) -> Tuple[int, Dict[str, str], bytes, bool]:
+        headers = {"Content-Type": "application/json"}
+        headers.update(extra_headers)
+        conn.request("POST", "/solve", body=body, headers=headers)
+        response = conn.getresponse()
+        data = response.read()
+        reusable = not response.will_close
+        return response.status, dict(response.getheaders()), data, reusable
+
+    def _forward(
+        self,
+        endpoint: ReplicaEndpoint,
+        body: bytes,
+        extra_headers: Optional[Dict[str, str]] = None,
+    ) -> Tuple[int, Dict[str, str], bytes]:
+        """POST ``body`` to one replica's ``/solve``; return its answer.
+
+        With pooling on, reuses an idle keep-alive connection when one
+        exists. A reused connection that fails to round-trip gets ONE
+        retry on a fresh connection — the failure is indistinguishable
+        from an idle connection gone stale (replica restarted under the
+        same port, server-side timeout), and charging the breaker for
+        router-side connection hygiene would trip failover spuriously.
+        A fresh connection's failure propagates to the caller as a real
+        replica failure.
+        """
+        extra_headers = extra_headers or {}
+        pool = (
+            self._pool(endpoint.replica_id) if self.pool_connections else None
+        )
+        conn = pool.acquire() if pool is not None else None
+        reused = conn is not None
+        if conn is None:
+            conn = self._connect(endpoint)
         try:
-            conn.request(
-                "POST",
-                "/solve",
-                body=body,
-                headers={"Content-Type": "application/json"},
+            status, headers, data, reusable = self._roundtrip(
+                conn, body, extra_headers
             )
-            response = conn.getresponse()
-            return response.status, response.read()
-        finally:
+        except (OSError, http.client.HTTPException):
             conn.close()
+            if not reused:
+                raise
+            conn = self._connect(endpoint)
+            try:
+                status, headers, data, reusable = self._roundtrip(
+                    conn, body, extra_headers
+                )
+            except (OSError, http.client.HTTPException):
+                conn.close()
+                raise
+        if pool is not None and reusable:
+            pool.release(conn)
+        else:
+            conn.close()
+        return status, headers, data
+
+
+def _header(headers: Dict[str, str], name: str) -> Optional[str]:
+    """Case-insensitive lookup in a plain header dict."""
+    for key, value in headers.items():
+        if key.lower() == name.lower():
+            return value
+    return None
 
 
 class RouterHTTPServer(GracefulHTTPServer):
@@ -393,10 +652,18 @@ class _RouterHandler(BaseHTTPRequestHandler):
     def app(self) -> RouterApp:
         return self.server.app  # type: ignore[attr-defined]
 
-    def _send(self, code: int, body: bytes, content_type: str) -> None:
+    def _send(
+        self,
+        code: int,
+        body: bytes,
+        content_type: str,
+        extra_headers: Optional[Dict[str, str]] = None,
+    ) -> None:
         self.send_response(code)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (extra_headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
@@ -416,6 +683,8 @@ class _RouterHandler(BaseHTTPRequestHandler):
                     self.app.prometheus().encode("utf-8"),
                     "text/plain; version=0.0.4",
                 )
+            elif self.path == "/metrics.json":
+                self._send_json(200, self.app.metrics_json())
             else:
                 self._send_json(404, {"error": f"no such path {self.path}"})
         except Exception as exc:  # noqa: BLE001 - answer, never drop
@@ -425,8 +694,10 @@ class _RouterHandler(BaseHTTPRequestHandler):
         try:
             if self.path == "/solve":
                 payload = read_json_body(self.headers, self.rfile)
-                status, body = self.app.route_solve(payload)
-                self._send(status, body, "application/json")
+                status, body, headers = self.app.handle_solve(
+                    payload, self.headers
+                )
+                self._send(status, body, "application/json", headers)
             elif self.path == "/shutdown":
                 self._send_json(200, {"status": "shutting down"})
                 threading.Thread(

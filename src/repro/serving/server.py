@@ -15,10 +15,16 @@ Endpoints:
   :func:`~repro.obs.sinks.read_jsonl`).
 - ``GET /metrics`` — Prometheus text exposition of the process
   registry (empty outside an instrumentation session).
+- ``GET /metrics.json`` — the raw registry snapshot; the form the
+  router's fleet aggregator scrapes and merges.
 - ``POST /solve`` — body ``{"scenario", "budget", "solver"?,
   "ci_width"?}``; concurrent identical requests are batched onto one
   solve. Deterministic fields (``seeds``, ``objective``,
   ``num_samples``) depend only on the scenario spec and the query.
+  Adopts the inbound ``X-Repro-Trace-Id``/``X-Repro-Parent-Span``
+  trace context (minting a trace id when absent) and answers with the
+  trace id plus a ``Server-Timing`` per-phase breakdown — headers
+  only, never the body, preserving byte-identity.
 - ``POST /shutdown`` — graceful stop: responds, then stops accepting
   connections and closes every shard.
 
@@ -41,9 +47,10 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Callable, Dict, Optional, Tuple
 
 from repro.errors import ReproError, ServingError
-from repro.obs import metrics
+from repro.obs import metrics, trace
 from repro.obs.metrics import to_prometheus_text
 from repro.obs.sinks import read_jsonl
+from repro.obs.tracer import PARENT_HEADER, TRACE_HEADER, new_trace_id
 from repro.serving.batching import RequestBatcher
 from repro.serving.shards import ShardStore
 
@@ -159,7 +166,56 @@ class ShardApp:
         """Prometheus text exposition of the metrics registry."""
         return to_prometheus_text(metrics.snapshot())
 
-    def solve(self, payload: Dict) -> Dict:
+    def metrics_json(self) -> Dict:
+        """Raw registry snapshot (``GET /metrics.json``) — the form the
+        router's fleet aggregator scrapes and merges."""
+        return metrics.snapshot()
+
+    def handle_solve(
+        self, payload: Dict, inbound_headers=None
+    ) -> Tuple[Dict, Dict[str, str]]:
+        """HTTP-facing solve: adopt trace context, answer with headers.
+
+        Returns ``(response, headers)``. The inbound
+        ``X-Repro-Trace-Id`` / ``X-Repro-Parent-Span`` headers (minted
+        locally when absent, so a standalone replica's answers stay
+        traceable) become the adopted context for every span the solve
+        opens, and the response headers echo the trace id plus a
+        ``Server-Timing`` per-phase breakdown. Both ride as *headers*
+        so the JSON body — and its byte-identity contract — is
+        untouched by observability.
+        """
+        inbound = inbound_headers or {}
+        trace_id = inbound.get(TRACE_HEADER) or None
+        parent_span = inbound.get(PARENT_HEADER) or None
+        if trace_id is None:
+            trace_id = new_trace_id()
+            parent_span = None
+        else:
+            metrics.inc("serving.trace.adopted")
+        timings: Dict[str, float] = {}
+        response = self.solve(
+            payload,
+            trace_id=trace_id,
+            parent_span=parent_span,
+            timings=timings,
+        )
+        headers = {TRACE_HEADER: trace_id}
+        if timings:
+            headers["Server-Timing"] = ", ".join(
+                f"{name};dur={seconds * 1e3:.3f}"
+                for name, seconds in timings.items()
+            )
+        return response, headers
+
+    def solve(
+        self,
+        payload: Dict,
+        *,
+        trace_id: Optional[str] = None,
+        parent_span: Optional[str] = None,
+        timings: Optional[Dict[str, float]] = None,
+    ) -> Dict:
         """Answer one ``/solve`` request, batching concurrent twins.
 
         Concurrent requests coalesce on ``(scenario, budget, solver,
@@ -171,36 +227,60 @@ class ShardApp:
         shared solve did not reach re-solves directly — the pool was
         already grown, so that re-solve is one cheap extra round at
         most — and every follower is answered at its own precision.
+
+        ``trace_id``/``parent_span`` adopt a cross-process trace
+        context for the duration (see :meth:`handle_solve`); ``timings``
+        — when a dict is passed — receives per-phase wall durations
+        (``parse``, ``batch``, ``resolve`` when taken, ``total``).
         """
         began = time.perf_counter()
-        try:
-            scenario, k, solver, ci_width = self._parse_solve(payload)
-            group = (scenario, k, solver, ci_width is not None)
-            result, leader = self.batcher.run(
-                group,
-                lambda: self._compute(
-                    scenario,
-                    k,
-                    solver,
-                    ci_width,
-                    width_provider=lambda: self.batcher.tightest_width(
-                        group
-                    ),
-                ),
-                width=ci_width,
-            )
-            if not leader and not self._width_satisfied(result, ci_width):
-                result = self._compute(scenario, k, solver, ci_width)
-        except BaseException:
-            self._count("failed")
-            metrics.inc("serving.requests.failed")
-            raise
-        finally:
-            self._count("total")
-            metrics.inc("serving.requests.total")
-            metrics.observe(
-                "serving.request.seconds", time.perf_counter() - began
-            )
+        t = timings if timings is not None else {}
+        with trace.context(trace_id, parent_span):
+            with trace.span("serving/request") as root:
+                try:
+                    mark = time.perf_counter()
+                    scenario, k, solver, ci_width = self._parse_solve(
+                        payload
+                    )
+                    t["parse"] = time.perf_counter() - mark
+                    root.set(scenario=scenario, budget=k, solver=solver)
+                    group = (scenario, k, solver, ci_width is not None)
+                    mark = time.perf_counter()
+                    result, leader = self.batcher.run(
+                        group,
+                        lambda: self._compute(
+                            scenario,
+                            k,
+                            solver,
+                            ci_width,
+                            width_provider=lambda: (
+                                self.batcher.tightest_width(group)
+                            ),
+                        ),
+                        width=ci_width,
+                    )
+                    t["batch"] = time.perf_counter() - mark
+                    if not leader and not self._width_satisfied(
+                        result, ci_width
+                    ):
+                        mark = time.perf_counter()
+                        with trace.span(
+                            "serving/resolve", scenario=scenario
+                        ):
+                            result = self._compute(
+                                scenario, k, solver, ci_width
+                            )
+                        t["resolve"] = time.perf_counter() - mark
+                except BaseException:
+                    self._count("failed")
+                    metrics.inc("serving.requests.failed")
+                    raise
+                finally:
+                    self._count("total")
+                    metrics.inc("serving.requests.total")
+                    elapsed = time.perf_counter() - began
+                    t["total"] = elapsed
+                    metrics.observe("serving.request.seconds", elapsed)
         if not leader:
             self._count("batched")
             metrics.inc("serving.requests.batched")
@@ -260,19 +340,20 @@ class ShardApp:
         ci_width: Optional[float],
         width_provider: Optional[Callable[[], Optional[float]]] = None,
     ) -> Dict:
-        shard = self.store.get(scenario)
-        with shard.lock:
-            shard.touch()
-            shard.warm()
-            response, cache_hit = shard.solve(
-                k,
-                solver_name=solver,
-                ci_width=ci_width,
-                width_provider=width_provider,
-            )
-        # Evict *after* releasing the shard lock; the just-used shard
-        # is protected so a tight budget cannot thrash it.
-        self.store.evict_to_budget(protect=scenario)
+        with trace.span("serving/compute", scenario=scenario, solver=solver):
+            shard = self.store.get(scenario)
+            with shard.lock:
+                shard.touch()
+                shard.warm()
+                response, cache_hit = shard.solve(
+                    k,
+                    solver_name=solver,
+                    ci_width=ci_width,
+                    width_provider=width_provider,
+                )
+            # Evict *after* releasing the shard lock; the just-used shard
+            # is protected so a tight budget cannot thrash it.
+            self.store.evict_to_budget(protect=scenario)
         response = dict(response)
         response["cache_hit"] = cache_hit
         return response
@@ -372,10 +453,18 @@ class _Handler(BaseHTTPRequestHandler):
     def app(self) -> ShardApp:
         return self.server.app  # type: ignore[attr-defined]
 
-    def _send(self, code: int, body: bytes, content_type: str) -> None:
+    def _send(
+        self,
+        code: int,
+        body: bytes,
+        content_type: str,
+        extra_headers: Optional[Dict[str, str]] = None,
+    ) -> None:
         self.send_response(code)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (extra_headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
@@ -395,6 +484,8 @@ class _Handler(BaseHTTPRequestHandler):
                     self.app.prometheus().encode("utf-8"),
                     "text/plain; version=0.0.4",
                 )
+            elif self.path == "/metrics.json":
+                self._send_json(200, self.app.metrics_json())
             else:
                 self._send_json(404, {"error": f"no such path {self.path}"})
         except Exception as exc:  # noqa: BLE001 - answer, never drop
@@ -403,7 +494,11 @@ class _Handler(BaseHTTPRequestHandler):
     def do_POST(self) -> None:  # noqa: N802 - stdlib naming
         try:
             if self.path == "/solve":
-                self._send_json(200, self.app.solve(self._read_body()))
+                response, headers = self.app.handle_solve(
+                    self._read_body(), self.headers
+                )
+                body = json.dumps(response, sort_keys=True).encode("utf-8")
+                self._send(200, body, "application/json", headers)
             elif self.path == "/shutdown":
                 self._send_json(200, {"status": "shutting down"})
                 threading.Thread(

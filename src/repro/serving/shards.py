@@ -39,7 +39,7 @@ from repro.core.maf import MAF
 from repro.core.objective import evaluate_benefit
 from repro.core.ubg import UBG, GreedyC
 from repro.errors import ServingError
-from repro.obs import metrics
+from repro.obs import metrics, trace
 from repro.obs.diagnostics import (
     bernoulli_sample_variance,
     normal_halfwidth,
@@ -146,16 +146,21 @@ class WarmShard:
         merges them synchronously, re-seals the pool and bumps
         :attr:`version`. Returns whether any growth happened.
         """
-        grew = False
-        while len(self.pool) < target:
-            room = min(self.round_size, target - len(self.pool))
-            self.pool.grow(room)
-            self.pool.compact()
-            self.version += 1
-            grew = True
-        if grew:
+        if len(self.pool) >= target:
+            return False
+        with trace.span(
+            "serving/topup", scenario=self.spec.name, target=target
+        ) as span:
+            rounds = 0
+            while len(self.pool) < target:
+                room = min(self.round_size, target - len(self.pool))
+                self.pool.grow(room)
+                self.pool.compact()
+                self.version += 1
+                rounds += 1
             self.bytes = pool_memory_bytes(self.pool)
-        return grew
+            span.set(rounds=rounds, num_samples=len(self.pool))
+        return True
 
     def warm(self) -> None:
         """Grow to the spec's warm ``pool_size`` (requires :attr:`lock`)."""
@@ -281,6 +286,7 @@ class ShardStore:
         memory_budget_bytes: Optional[int] = None,
         retry: Optional[RetryPolicy] = None,
         fault_injector: Optional[FaultInjector] = None,
+        on_evict: Optional[Callable[[str], None]] = None,
     ) -> None:
         if not scenarios:
             raise ServingError("a shard store needs at least one scenario")
@@ -296,6 +302,10 @@ class ShardStore:
         self.memory_budget_bytes = memory_budget_bytes
         self.retry = retry
         self.fault_injector = fault_injector
+        #: Called with the scenario name after each eviction, outside
+        #: all store locks — the cluster wires the replica's lifecycle
+        #: journal here (``shard.evicted`` events).
+        self.on_evict = on_evict
         self._shards: Dict[str, WarmShard] = {}
         self._lock = threading.Lock()
         #: Serialises cold-shard builds (expensive) without blocking
@@ -401,6 +411,8 @@ class ShardStore:
             self.counters["evictions"] += 1
             metrics.inc("serving.shards.evictions")
             evicted.append(name)
+            if self.on_evict is not None:
+                self.on_evict(name)
         self._publish_gauges()
         return evicted
 

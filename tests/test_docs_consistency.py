@@ -132,3 +132,76 @@ def test_metric_lint_script_passes_as_a_script():
         text=True,
     )
     assert result.returncode == 0, result.stderr or result.stdout
+
+
+# ---------------------------------------------------------------------
+# Span-name and event-type catalogues: code ↔ catalogue ↔ docs
+# ---------------------------------------------------------------------
+
+
+def _load_span_lint():
+    import importlib.util
+
+    spec = importlib.util.spec_from_file_location(
+        "check_span_names", ROOT / "scripts" / "check_span_names.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_every_emitted_span_name_is_catalogued():
+    from repro.obs.tracer import SPAN_CATALOG
+
+    lint = _load_span_lint()
+    sites = lint.find_span_call_sites()
+    assert sites, "no span call sites found under src/ — lint broken?"
+    unknown, stale = lint.check_names(SPAN_CATALOG, sites)
+    assert not unknown, (
+        "span names emitted but missing from SPAN_CATALOG: "
+        f"{sorted({site.name for site in unknown})}"
+    )
+    assert not stale, f"SPAN_CATALOG entries with no call site: {stale}"
+
+
+def test_every_emitted_event_type_is_catalogued():
+    from repro.obs.events import EVENT_TYPES
+
+    lint = _load_span_lint()
+    sites = lint.find_event_emit_sites()
+    assert sites, "no event emit sites found under src/ — lint broken?"
+    unknown, stale = lint.check_names(EVENT_TYPES, sites)
+    assert not unknown, (
+        "event types emitted but missing from EVENT_TYPES: "
+        f"{sorted({site.name for site in unknown})}"
+    )
+    assert not stale, f"EVENT_TYPES entries with no emit site: {stale}"
+
+
+def test_every_span_and_event_name_is_documented():
+    from repro.obs.events import EVENT_TYPES
+    from repro.obs.tracer import SPAN_CATALOG
+
+    text = (ROOT / "docs" / "observability.md").read_text()
+    undocumented = sorted(
+        name
+        for catalog in (SPAN_CATALOG, EVENT_TYPES)
+        for name in catalog
+        if f"`{name}`" not in text
+    )
+    assert not undocumented, (
+        "span/event names absent from docs/observability.md: "
+        f"{undocumented}"
+    )
+
+
+def test_span_lint_script_passes_as_a_script():
+    import subprocess
+    import sys
+
+    result = subprocess.run(
+        [sys.executable, str(ROOT / "scripts" / "check_span_names.py")],
+        capture_output=True,
+        text=True,
+    )
+    assert result.returncode == 0, result.stderr or result.stdout

@@ -1,0 +1,123 @@
+"""Event journal tests: roundtrip, vocabulary enforcement, append
+semantics across incarnations, torn-tail tolerance, multi-log merge and
+the close-then-emit shutdown race."""
+
+import json
+import os
+
+import pytest
+
+from repro.obs import (
+    EVENT_TYPES,
+    EventJournal,
+    merge_event_logs,
+    read_events,
+    session,
+)
+from repro.obs import metrics
+
+pytestmark = pytest.mark.obs
+
+
+def test_emit_roundtrips_with_envelope_and_attrs(tmp_path):
+    path = tmp_path / "events.jsonl"
+    clock = iter([100.0, 101.5])
+    with EventJournal(path, source="cluster", clock=lambda: next(clock)) as j:
+        j.emit("replica.spawned", replica="r0", port=1234)
+        j.emit("replica.healthy", replica="r0")
+    events = read_events(str(path))
+    assert [e["event"] for e in events] == [
+        "replica.spawned",
+        "replica.healthy",
+    ]
+    first = events[0]
+    assert first["ts"] == 100.0
+    assert first["pid"] == os.getpid()
+    assert first["source"] == "cluster"
+    assert first["replica"] == "r0"
+    assert first["port"] == 1234
+
+
+def test_unknown_event_type_raises_and_writes_nothing(tmp_path):
+    path = tmp_path / "events.jsonl"
+    with EventJournal(path) as journal:
+        with pytest.raises(ValueError, match="unknown event type"):
+            journal.emit("replica.abducted")
+    assert read_events(str(path)) == []
+
+
+def test_journal_appends_across_incarnations(tmp_path):
+    # A restarted supervisor (or replica) re-opens the same path; append
+    # mode keeps one continuous log instead of truncating history.
+    path = tmp_path / "events.jsonl"
+    with EventJournal(path, source="a") as journal:
+        journal.emit("server.started")
+    with EventJournal(path, source="b") as journal:
+        journal.emit("server.drain.begin")
+    events = read_events(str(path))
+    assert [(e["event"], e["source"]) for e in events] == [
+        ("server.started", "a"),
+        ("server.drain.begin", "b"),
+    ]
+
+
+def test_torn_tail_line_is_skipped(tmp_path):
+    path = tmp_path / "events.jsonl"
+    with EventJournal(path) as journal:
+        journal.emit("replica.killed", replica="r1")
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write('{"type": "event", "event": "replica.resp')  # SIGKILL
+    events = read_events(str(path))
+    assert [e["event"] for e in events] == ["replica.killed"]
+
+
+def test_emit_after_close_is_a_silent_noop(tmp_path):
+    path = tmp_path / "events.jsonl"
+    journal = EventJournal(path)
+    journal.emit("cluster.started")
+    journal.close()
+    journal.emit("cluster.stopped")  # late drain-thread event: dropped
+    journal.close()  # idempotent
+    assert [e["event"] for e in read_events(str(path))] == ["cluster.started"]
+
+
+def test_merge_event_logs_orders_by_wall_clock(tmp_path):
+    a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+    clock_a = iter([10.0, 30.0])
+    clock_b = iter([20.0])
+    with EventJournal(a, source="a", clock=lambda: next(clock_a)) as journal:
+        journal.emit("replica.spawned", replica="r0")
+        journal.emit("replica.stopped", replica="r0")
+    with EventJournal(b, source="b", clock=lambda: next(clock_b)) as journal:
+        journal.emit("server.started")
+    merged = merge_event_logs([str(a), str(b)])
+    assert [e["event"] for e in merged] == [
+        "replica.spawned",
+        "server.started",
+        "replica.stopped",
+    ]
+
+
+def test_emit_counts_into_the_metrics_registry(tmp_path):
+    with session() as recorder:
+        with EventJournal(tmp_path / "events.jsonl") as journal:
+            journal.emit("breaker.opened", replica="r2")
+            journal.emit("breaker.closed", replica="r2")
+    assert recorder.metrics["counters"]["cluster.events.recorded"] == 2
+
+
+def test_journal_is_not_gated_by_the_obs_session(tmp_path):
+    # Lifecycle journalling is explicit configuration, not ambient
+    # instrumentation: it records even with no session open (but the
+    # gated counter stays silent).
+    path = tmp_path / "events.jsonl"
+    with EventJournal(path) as journal:
+        journal.emit("shard.evicted", scenario="alpha")
+    assert len(read_events(str(path))) == 1
+    assert metrics.get_counter("cluster.events.recorded") == 0
+
+
+def test_every_event_type_is_documented_in_the_catalogue():
+    assert all(isinstance(v, str) and v for v in EVENT_TYPES.values())
+    # The serialized form is sorted for stable diffs.
+    assert json.dumps(dict(EVENT_TYPES), sort_keys=True)

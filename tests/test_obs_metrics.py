@@ -1,16 +1,19 @@
 """Metrics registry tests: gating, counters, gauges, histograms,
 edge cases (bucket boundaries, negative increments, reset-after-
-snapshot) and the Prometheus text export."""
+snapshot), snapshot merging (the fleet-aggregation primitive),
+histogram quantiles and the Prometheus text export."""
 
 import pytest
 
 from repro.obs import (
     CATALOG,
     DEFAULT_TIME_BUCKETS,
+    histogram_quantile,
     metrics,
     session,
     to_prometheus_text,
 )
+from repro.obs.metrics import MetricsRegistry
 
 pytestmark = pytest.mark.obs
 
@@ -142,6 +145,102 @@ def test_negative_counter_increment_raises_while_active():
 
 
 # ---------------------------------------------------------------------
+# merge_snapshot: the fleet-aggregation primitive
+# ---------------------------------------------------------------------
+
+
+def _snap(counters=None, gauges=None, histograms=None):
+    return {
+        "counters": counters or {},
+        "gauges": gauges or {},
+        "histograms": histograms or {},
+    }
+
+
+def _hist(counts, buckets=(0.1, 1.0), total=None):
+    return {
+        "buckets": list(buckets),
+        "counts": list(counts),
+        "count": sum(counts),
+        "sum": total if total is not None else float(sum(counts)),
+    }
+
+
+def test_merge_snapshot_sums_counters_and_works_with_gate_off():
+    # merge_snapshot is deliberately ungated: the router merges scraped
+    # replica snapshots into a private registry regardless of whether
+    # its own process has an obs session open.
+    registry = MetricsRegistry()
+    registry.merge_snapshot(_snap(counters={"a": 2, "b": 1}))
+    registry.merge_snapshot(_snap(counters={"a": 3}))
+    assert registry.snapshot()["counters"] == {"a": 5, "b": 1}
+
+
+def test_merge_snapshot_gauges_label_per_source_and_never_sum():
+    registry = MetricsRegistry()
+    registry.merge_snapshot(_snap(gauges={"shards.active": 2}), source="r0")
+    registry.merge_snapshot(_snap(gauges={"shards.active": 3}), source="r1")
+    # An unlabelled merge (the local layer) is last-write-wins.
+    registry.merge_snapshot(_snap(gauges={"local.gauge": 1.0}))
+    registry.merge_snapshot(_snap(gauges={"local.gauge": 7.0}))
+    gauges = registry.snapshot()["gauges"]
+    assert gauges['shards.active{replica="r0"}'] == 2
+    assert gauges['shards.active{replica="r1"}'] == 3
+    assert "shards.active" not in gauges  # never summed into one value
+    assert gauges["local.gauge"] == 7.0
+
+
+def test_merge_snapshot_histograms_merge_bucket_wise():
+    registry = MetricsRegistry()
+    registry.merge_snapshot(
+        _snap(histograms={"h": _hist([1, 0, 2], total=5.0)})
+    )
+    registry.merge_snapshot(
+        _snap(histograms={"h": _hist([0, 3, 1], total=2.5)})
+    )
+    hist = registry.snapshot()["histograms"]["h"]
+    assert hist["counts"] == [1, 3, 3]
+    assert hist["count"] == 7
+    assert hist["sum"] == pytest.approx(7.5)
+    assert hist["buckets"] == [0.1, 1.0]
+
+
+def test_merge_snapshot_mismatched_buckets_fail_loudly():
+    registry = MetricsRegistry()
+    registry.merge_snapshot(_snap(histograms={"h": _hist([1, 0, 0])}))
+    with pytest.raises(ValueError, match="bucket"):
+        registry.merge_snapshot(
+            _snap(histograms={"h": _hist([1, 0, 0], buckets=(0.5, 2.0))})
+        )
+    with pytest.raises(ValueError, match="counts"):
+        registry.merge_snapshot(
+            _snap(histograms={"h": _hist([1, 0])})  # counts/edges mismatch
+        )
+    # Rejected snapshots leave the registry untouched.
+    assert registry.snapshot()["histograms"]["h"]["count"] == 1
+
+
+def test_merge_snapshot_rejects_negative_counters_before_mutating():
+    registry = MetricsRegistry()
+    registry.merge_snapshot(_snap(counters={"good": 1}))
+    with pytest.raises(ValueError, match="negative"):
+        registry.merge_snapshot(_snap(counters={"good": 2, "evil": -1}))
+    # Validation happens before any mutation: "good" did not absorb the 2.
+    assert registry.snapshot()["counters"] == {"good": 1}
+
+
+def test_histogram_quantile_interpolates_and_clamps():
+    hist = _hist([2, 6, 2], buckets=(1.0, 2.0))
+    assert histogram_quantile(hist, 0.0) == pytest.approx(0.0)
+    # Median: 5th of 10 observations sits mid-bucket (1.0, 2.0].
+    assert 1.0 < histogram_quantile(hist, 0.5) < 2.0
+    # Quantiles landing in the overflow bucket clamp to the last edge.
+    assert histogram_quantile(hist, 0.99) == pytest.approx(2.0)
+    assert histogram_quantile({"buckets": [1.0], "counts": [0, 0],
+                               "count": 0, "sum": 0.0}, 0.5) == 0.0
+
+
+# ---------------------------------------------------------------------
 # Prometheus text export
 # ---------------------------------------------------------------------
 
@@ -168,6 +267,24 @@ def test_prometheus_export_counters_gauges_histograms():
     assert "pool_reach_histogram_sum 13" in lines
     assert "pool_reach_histogram_count 3" in lines
     assert text.endswith("\n")
+
+
+def test_prometheus_export_renders_labelled_gauges_once_per_family():
+    snap = _snap(
+        gauges={
+            'serving.shards.active{replica="r0"}': 2,
+            'serving.shards.active{replica="r1"}': 3,
+        }
+    )
+    text = to_prometheus_text(snap)
+    lines = text.splitlines()
+    assert 'serving_shards_active{replica="r0"} 2' in lines
+    assert 'serving_shards_active{replica="r1"} 3' in lines
+    # One TYPE header for the family, not one per labelled sample.
+    assert (
+        sum(1 for l in lines if l == "# TYPE serving_shards_active gauge")
+        == 1
+    )
 
 
 def test_prometheus_export_help_text_comes_from_catalog():

@@ -1,8 +1,17 @@
-"""Tracer tests: no-op gating, nesting, exception safety, capture/ingest."""
+"""Tracer tests: no-op gating, nesting, exception safety, capture/ingest,
+and cross-process trace-context propagation (adopt, stamp, headers)."""
 
 import pytest
 
-from repro.obs import NOOP_SPAN, phase_timings, session, trace
+from repro.obs import (
+    NOOP_SPAN,
+    PARENT_HEADER,
+    TRACE_HEADER,
+    new_trace_id,
+    phase_timings,
+    session,
+    trace,
+)
 
 pytestmark = pytest.mark.obs
 
@@ -102,6 +111,75 @@ def test_ingest_reparents_roots_under_current_span():
 def test_ingest_is_noop_while_disabled():
     trace.ingest([{"type": "span", "name": "ghost", "parent_id": None}])
     assert trace.snapshot() == []
+
+
+def test_context_adopts_remote_parent_and_stamps_trace_id():
+    with session() as recorder:
+        with trace.context("cafe01", "babe.02"):
+            with trace.span("serving/request") as root:
+                assert root.parent_id == "babe.02"
+                with trace.span("serving/compute"):
+                    pass
+    by_name = {r["name"]: r for r in recorder.spans}
+    assert by_name["serving/request"]["parent_id"] == "babe.02"
+    # Children parent locally but still carry the shared trace id.
+    assert all(r["trace_id"] == "cafe01" for r in recorder.spans)
+    assert (
+        by_name["serving/compute"]["parent_id"]
+        == by_name["serving/request"]["span_id"]
+    )
+
+
+def test_context_restores_previous_context_and_none_is_a_noop():
+    with session() as recorder:
+        with trace.context("outer-trace"):
+            with trace.context(None):  # no-op: outer context survives
+                assert trace.current_context().trace_id == "outer-trace"
+            with trace.context("inner-trace"):
+                assert trace.current_context().trace_id == "inner-trace"
+            assert trace.current_context().trace_id == "outer-trace"
+            with trace.span("imc/select"):
+                pass
+        assert trace.current_context() is None
+        with trace.span("imc/evaluate"):
+            pass
+    by_name = {r["name"]: r for r in recorder.spans}
+    assert by_name["imc/select"]["trace_id"] == "outer-trace"
+    assert "trace_id" not in by_name["imc/evaluate"]
+
+
+def test_propagation_headers_carry_trace_and_current_span():
+    assert trace.propagation_headers() == {}  # no context, no headers
+    with session():
+        with trace.context("feed5", "dead.01"):
+            # No span open yet: the remote parent is forwarded as-is.
+            assert trace.propagation_headers() == {
+                TRACE_HEADER: "feed5",
+                PARENT_HEADER: "dead.01",
+            }
+            with trace.span("router/forward") as span:
+                headers = trace.propagation_headers()
+                assert headers[TRACE_HEADER] == "feed5"
+                assert headers[PARENT_HEADER] == span.span_id
+    assert trace.propagation_headers() == {}
+
+
+def test_new_trace_ids_are_unique_hex():
+    ids = {new_trace_id() for _ in range(64)}
+    assert len(ids) == 64
+    assert all(int(i, 16) >= 0 and len(i) == 32 for i in ids)
+
+
+def test_ingest_stamps_active_trace_id_on_shipped_spans():
+    with trace.capture() as shipped:
+        with trace.span("worker/unit"):
+            pass
+    with session() as recorder:
+        with trace.context("abc123"):
+            with trace.span("ric/sample_many"):
+                trace.ingest(shipped)
+    by_name = {r["name"]: r for r in recorder.spans}
+    assert by_name["worker/unit"]["trace_id"] == "abc123"
 
 
 def test_phase_timings_aggregates_by_name():
